@@ -1,0 +1,16 @@
+"""Shared fixtures for the per-figure benchmark harnesses.
+
+Each benchmark regenerates one paper table or figure at a reduced scale
+(DESIGN.md's performance note) and prints the rows/series the paper
+reports, so `pytest benchmarks/ --benchmark-only` both times the harness
+and emits the reproduction numbers.
+"""
+
+import pytest
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 13 (memory-controller co-design)."""
+
+from benchmarks.conftest import print_banner
+from repro.experiments import fig13_memctrl
+
+
+def test_fig13_memctrl(benchmark):
+    def runner():
+        return {
+            name: fig13_memctrl.run_closed_loop_ur(
+                placement, layout, num_requests=1280, seed=13
+            )
+            for name, (placement, layout) in fig13_memctrl.CONFIGURATIONS.items()
+        }
+
+    results = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print_banner("Figure 13: closed-loop UR request-response latency")
+    reference = results["corners_homo"].mean_latency
+    for name, result in results.items():
+        reduction = 100.0 * (reference - result.mean_latency) / reference
+        paper = fig13_memctrl.PAPER_REDUCTIONS.get(name)
+        paper_txt = f"(paper {paper:+.0f}%)" if paper else "(reference)"
+        print(
+            f"{name:16s} mean {result.mean_latency:7.1f} cyc  "
+            f"norm-std {result.normalized_std:.2f}  reduction {reduction:+6.1f}% {paper_txt}"
+        )
+    # Shapes: distributed controllers beat corners; the hetero network with
+    # diagonal controllers is the best configuration.
+    assert results["diamond_homo"].mean_latency < results["corners_homo"].mean_latency
+    assert (
+        results["diagonal_hetero"].mean_latency
+        <= results["diamond_homo"].mean_latency * 1.02
+    )

@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package, where
+PEP 660 editable installs (`pip install -e .`) cannot build. Use
+`python setup.py develop` there; metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""HeteroNoC: a reproduction of "A Case for Heterogeneous On-Chip
+Interconnects for CMPs" (Mishra, Vijaykrishnan & Das, ISCA 2011).
+
+Subpackages:
+
+* :mod:`repro.noc` -- cycle-accurate NoC simulator (routers, topologies,
+  routing, flow control, statistics).
+* :mod:`repro.traffic` -- synthetic patterns, self-similar sources, trace
+  format and application workload profiles.
+* :mod:`repro.core` -- the HeteroNoC contribution: layouts, resource
+  redistribution math, calibrated power/area/frequency models, design
+  space exploration, flit-merging analysis.
+* :mod:`repro.cmp` -- 64-tile CMP model (cores, caches, MESI directory,
+  memory controllers) co-simulated with the network.
+* :mod:`repro.experiments` -- one harness per paper table/figure.
+
+Quick start::
+
+    from repro.core import layout_by_name, build_network
+    from repro.traffic import UniformRandom, run_synthetic
+
+    layout = layout_by_name("diagonal+BL")
+    network = build_network(layout)
+    result = run_synthetic(
+        network, UniformRandom(network.topology.num_nodes), rate=0.02
+    )
+    print(result.avg_latency_ns(layout.frequency_ghz))
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, noc, traffic
+
+__all__ = ["core", "noc", "traffic", "__version__"]

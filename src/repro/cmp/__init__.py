@@ -1,0 +1,29 @@
+"""64-tile CMP model (Table 2) co-simulated with the NoC.
+
+Each tile hosts a core with a private write-back L1, one bank of the
+shared, address-interleaved L2, and a router.  A two-level directory-based
+MESI protocol keeps the L1s coherent; every request, response, forward,
+invalidation and acknowledgement travels through the cycle-accurate
+network model as a 1-flit address packet or a multi-flit data packet.
+Memory controllers sit at configurable nodes (corners / diamond /
+diagonal, Section 6) in front of a fixed-latency DRAM model.
+"""
+
+from repro.cmp.cache import CacheConfig, MSHRFile, SetAssociativeCache
+from repro.cmp.core_model import CoreConfig, TraceCore
+from repro.cmp.memory import MemoryConfig
+from repro.cmp.metrics import harmonic_speedup, weighted_speedup
+from repro.cmp.system import CmpConfig, CmpSystem
+
+__all__ = [
+    "CacheConfig",
+    "CmpConfig",
+    "CmpSystem",
+    "CoreConfig",
+    "harmonic_speedup",
+    "MemoryConfig",
+    "MSHRFile",
+    "SetAssociativeCache",
+    "TraceCore",
+    "weighted_speedup",
+]

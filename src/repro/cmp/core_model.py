@@ -1,0 +1,181 @@
+"""Trace-driven core timing models.
+
+Two flavours, matching the paper's asymmetric-CMP study (Section 7):
+
+* the **large** core: multiple-issue out-of-order (Table 2: 3-wide,
+  64-entry window) -- modelled as a core that retires up to
+  ``issue_width`` non-memory instructions per cycle and tolerates up to
+  ``max_outstanding`` concurrent cache misses before stalling;
+* the **small** core: single-issue in-order -- one instruction per cycle
+  and *blocking* memory operations (one outstanding miss, loads stall the
+  pipeline until data returns).
+
+The instruction stream is the paper's trace format: memory operations
+separated by counted non-memory instruction gaps
+(:class:`repro.traffic.trace.TraceRecord`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.cmp.coherence import L1Controller
+from repro.traffic.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core timing parameters."""
+
+    issue_width: int = 3
+    max_outstanding: int = 16
+    blocking_loads: bool = False
+    # Reorder-buffer size: the core may run at most this many instructions
+    # ahead of its oldest incomplete memory operation (Table 2: 64-entry
+    # instruction window).
+    window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+def large_core_config() -> CoreConfig:
+    """Table 2's out-of-order core (3-wide, 64-entry window)."""
+    return CoreConfig(
+        issue_width=3, max_outstanding=16, blocking_loads=False, window=64
+    )
+
+
+def small_core_config() -> CoreConfig:
+    """The asymmetric CMP's single-issue in-order core."""
+    return CoreConfig(
+        issue_width=1, max_outstanding=1, blocking_loads=True, window=16
+    )
+
+
+class TraceCore:
+    """One core replaying a memory trace through its L1 controller."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        trace: Sequence[TraceRecord],
+        l1: L1Controller,
+        start_cycle: int = 0,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.trace: List[TraceRecord] = list(trace)
+        self.l1 = l1
+        self.start_cycle = start_cycle
+        self._index = 0
+        self._gap_remaining = self.trace[0].gap if self.trace else 0
+        self.instructions_retired = 0
+        self.outstanding = 0
+        # Retired-instruction marks at issue time of each outstanding miss
+        # (FIFO approximation of the ROB: the core may run at most
+        # ``window`` instructions past its oldest incomplete access).
+        self._issue_marks: Deque[int] = deque()
+        self._blocked_until_response = False
+        self.started_at: Optional[int] = None
+        self.finished_at: Optional[int] = None
+        self.stall_cycles = 0
+
+    @property
+    def trace_exhausted(self) -> bool:
+        return self._index >= len(self.trace)
+
+    @property
+    def done(self) -> bool:
+        return self.trace_exhausted and self.outstanding == 0
+
+    def step(self, cycle: int) -> None:
+        """Advance one cycle of execution."""
+        if self.done or cycle < self.start_cycle:
+            return
+        if self.started_at is None:
+            self.started_at = cycle
+        if self._blocked_until_response:
+            self.stall_cycles += 1
+            return
+        budget = self.config.issue_width
+        while budget > 0 and not self.trace_exhausted:
+            headroom = self._window_headroom()
+            if headroom == 0:
+                self.stall_cycles += 1
+                return
+            if self._gap_remaining > 0:
+                consumed = min(budget, self._gap_remaining, headroom)
+                self._gap_remaining -= consumed
+                self.instructions_retired += consumed
+                budget -= consumed
+                continue
+            record = self.trace[self._index]
+            if self.outstanding >= self.config.max_outstanding:
+                self.stall_cycles += 1
+                return
+            status = self.l1.request(
+                record.address,
+                record.is_write,
+                cycle,
+                self._make_completion(record, cycle),
+            )
+            if status == "blocked":
+                self.stall_cycles += 1
+                return
+            self.outstanding += 1
+            self._issue_marks.append(self.instructions_retired)
+            self.instructions_retired += 1
+            budget -= 1
+            self._advance_trace()
+            blocking = self.config.blocking_loads and not record.is_write
+            if blocking:
+                # In-order core: the load stalls the pipeline until the
+                # data (or the L1 hit) completes.
+                self._blocked_until_response = True
+                return
+        if self.trace_exhausted and self.outstanding == 0:
+            self.finished_at = cycle
+
+    def _advance_trace(self) -> None:
+        self._index += 1
+        if not self.trace_exhausted:
+            self._gap_remaining = self.trace[self._index].gap
+
+    def _window_headroom(self) -> int:
+        """Instructions the core may still run past its oldest miss."""
+        if not self._issue_marks:
+            return self.config.window
+        return max(
+            0,
+            self._issue_marks[0] + self.config.window - self.instructions_retired,
+        )
+
+    def _make_completion(self, record: TraceRecord, cycle: int) -> Callable[[], None]:
+        def on_complete() -> None:
+            self.outstanding -= 1
+            if self._issue_marks:
+                self._issue_marks.popleft()
+            self._blocked_until_response = False
+            if self.outstanding < 0:
+                raise RuntimeError(
+                    f"core {self.core_id} completed more memory ops than issued"
+                )
+
+        return on_complete
+
+    def ipc(self, current_cycle: int) -> float:
+        """Instructions per cycle since this core started."""
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else current_cycle
+        elapsed = max(1, end - self.started_at)
+        return self.instructions_retired / elapsed

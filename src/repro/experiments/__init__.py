@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> dict`` returning the figure's data
+series/rows, and a ``main()`` that prints them in the shape the paper
+reports.  The ``benchmarks/`` tree wraps these with pytest-benchmark.
+
+==========================  ==========================================
+module                      reproduces
+==========================  ==========================================
+fig01_utilization           Fig 1  - mesh buffer/link utilization maps
+fig02_other_topologies      Fig 2  - cmesh + flattened-butterfly maps
+table1_router_model         Table 1 - router power/area/frequency
+fig07_ur_traffic            Fig 7  - UR load-latency/throughput/power
+fig08_breakdown             Fig 8  - latency & power breakdowns
+fig09_nn_traffic            Fig 9  - nearest-neighbour anomaly
+fig10_torus                 Fig 10 - mesh vs torus benefit
+fig11_applications          Fig 11 - application latency/power (CMP)
+fig12_ipc                   Fig 12 - IPC improvements (CMP)
+fig13_memctrl               Fig 13 - memory-controller co-design
+fig14_asymmetric            Fig 14 - asymmetric CMP + table routing
+==========================  ==========================================
+"""

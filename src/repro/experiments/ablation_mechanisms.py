@@ -1,0 +1,115 @@
+"""Ablations of HeteroNoC's individual mechanisms.
+
+DESIGN.md calls out three design choices worth isolating; this harness
+measures each on the Diagonal+BL layout under UR traffic:
+
+* **flit merging** (Section 3.2/3.3) -- rerun with the wide-link second
+  grant disabled: wide links then carry one flit per cycle, exposing how
+  much of the +BL gain the merging machinery provides;
+* **flit accounting** -- paper mode (6-flit packets, double-pumped wide
+  links) vs the physically strict 128-bit mode (8-flit packets), the
+  interpretation gap analyzed in EXPERIMENTS.md;
+* **placement** -- the same router mix scattered deterministically
+  off-diagonal, isolating *where* from *what* (the paper's own Figure 3
+  comparison, reduced to its essence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.layouts import (
+    build_network,
+    custom_layout,
+    layout_by_name,
+)
+from repro.core.merging import merge_report
+from repro.core.power import network_power_breakdown
+from repro.experiments.common import measurement_scale, format_table
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.runner import run_synthetic
+
+
+def _scattered_positions(n: int, num_big: int = None) -> set:
+    """A deterministic low-traffic placement: fill from the mesh corners
+    inward along the boundary (the anti-diagonal of the paper's advice)."""
+    num_big = num_big if num_big is not None else 2 * n
+    boundary = [
+        r * n + c
+        for r in range(n)
+        for c in range(n)
+        if r in (0, n - 1) or c in (0, n - 1)
+    ]
+    boundary.sort(key=lambda rid: (min(rid // n, n - 1 - rid // n)
+                                   + min(rid % n, n - 1 - rid % n), rid))
+    return set(boundary[:num_big])
+
+
+def run(
+    rate: float = 0.05,
+    fast: bool = True,
+    seed: int = 11,
+) -> Dict[str, Dict[str, float]]:
+    scale = measurement_scale(fast)
+    variants = {}
+
+    def measure(name, network, frequency):
+        result = run_synthetic(
+            network, UniformRandom(network.topology.num_nodes), rate,
+            seed=seed, **scale,
+        )
+        power = network_power_breakdown(network, result.stats)
+        variants[name] = {
+            "latency_cycles": result.stats.avg_latency_cycles,
+            "latency_ns": result.avg_latency_ns(frequency),
+            "throughput": result.throughput_packets_per_node_cycle,
+            "power_w": power["total"],
+            "merge_fraction": merge_report(network, result.stats).merge_fraction,
+        }
+
+    baseline = layout_by_name("baseline")
+    measure("baseline", build_network(baseline), baseline.frequency_ghz)
+
+    diagonal = layout_by_name("diagonal+BL")
+    measure("diagonal+BL", build_network(diagonal), diagonal.frequency_ghz)
+    measure(
+        "diagonal+BL/no-merging",
+        build_network(diagonal, flit_merging=False),
+        diagonal.frequency_ghz,
+    )
+    measure(
+        "diagonal+BL/strict-flits",
+        build_network(diagonal, flit_mode="strict"),
+        diagonal.frequency_ghz,
+    )
+
+    scattered = custom_layout(
+        "scattered+BL", _scattered_positions(diagonal.mesh_size), mesh_size=8
+    )
+    measure("scattered+BL", build_network(scattered), scattered.frequency_ghz)
+    return variants
+
+
+def main(fast: bool = True) -> None:
+    data = run(fast=fast)
+    rows = [
+        [
+            name,
+            f"{v['latency_ns']:.1f}",
+            f"{v['throughput']:.4f}",
+            f"{v['power_w']:.1f}",
+            f"{100 * v['merge_fraction']:.0f}%",
+        ]
+        for name, v in data.items()
+    ]
+    print(
+        format_table(
+            ["variant", "latency ns", "throughput", "power W", "merged"],
+            rows,
+            "Mechanism ablations (UR @ 0.05)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(fast=False)

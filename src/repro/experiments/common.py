@@ -1,0 +1,87 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.core.layouts import build_network, layout_by_name
+from repro.core.power import network_power_breakdown
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.runner import run_synthetic
+
+# Default measurement sizes.  The paper warms up with 1,000 packets and
+# measures 100,000; pure-Python simulation scales these down (DESIGN.md's
+# performance note).  "fast" is used by the test suite and the benchmark
+# defaults, "full" by a patient command-line run.
+FAST_SCALE = {"warmup_packets": 100, "measure_packets": 600}
+FULL_SCALE = {"warmup_packets": 1000, "measure_packets": 10000}
+
+
+def measurement_scale(fast: bool) -> Dict[str, int]:
+    return dict(FAST_SCALE if fast else FULL_SCALE)
+
+
+def run_layout_synthetic(
+    layout_name: str,
+    pattern_name: str,
+    rate: float,
+    fast: bool = True,
+    seed: int = 11,
+    flit_mode: str = "paper",
+    **overrides,
+) -> Dict[str, object]:
+    """Build a layout network, drive it with a pattern, return key metrics."""
+    layout = layout_by_name(layout_name)
+    network = build_network(layout, flit_mode=flit_mode)
+    pattern = pattern_by_name(pattern_name, network.topology)
+    scale = measurement_scale(fast)
+    scale.update(overrides)
+    result = run_synthetic(network, pattern, rate, seed=seed, **scale)
+    power = network_power_breakdown(network, result.stats)
+    return {
+        "layout": layout_name,
+        "pattern": pattern_name,
+        "rate": rate,
+        "result": result,
+        "network": network,
+        "latency_cycles": result.stats.avg_latency_cycles,
+        "latency_ns": result.avg_latency_ns(layout.frequency_ghz),
+        "queuing_cycles": result.stats.avg_queuing_cycles,
+        "blocking_cycles": result.stats.avg_blocking_cycles,
+        "transfer_cycles": result.stats.avg_transfer_cycles,
+        "throughput": result.throughput_packets_per_node_cycle,
+        "power_w": power["total"],
+        "power_breakdown": power,
+        "saturated": result.saturated,
+    }
+
+
+def percent_change(new: float, old: float) -> float:
+    """Signed percent change of ``new`` relative to ``old``."""
+    if old == 0:
+        raise ValueError("reference value is zero")
+    return 100.0 * (new - old) / old
+
+
+def percent_reduction(new: float, old: float) -> float:
+    """Positive when ``new`` is smaller than ``old``."""
+    return -percent_change(new, old)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a plain-text table (the harnesses print paper-style rows)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""CSV export for experiment results.
+
+Every harness returns plain dict/list structures; these helpers flatten
+them into CSV files so the figures can be re-plotted outside Python.
+``python -m repro.experiments.run_all --csv <dir>`` writes one file per
+experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+Scalar = Union[int, float, str, bool, None]
+
+
+def write_rows(
+    path: Union[str, pathlib.Path],
+    rows: Sequence[Mapping[str, Scalar]],
+    fieldnames: Sequence[str] = None,
+) -> pathlib.Path:
+    """Write a list of flat dicts as CSV; returns the path written."""
+    if not rows:
+        raise ValueError("nothing to export: rows is empty")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(fieldnames) if fieldnames else list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k) for k in fieldnames})
+    return path
+
+
+def flatten_grid(
+    grid: Sequence[Sequence[float]], value_name: str = "value"
+) -> List[Dict[str, Scalar]]:
+    """Turn a 2-D heat-map grid into (row, col, value) records."""
+    return [
+        {"row": r, "col": c, value_name: cell}
+        for r, row in enumerate(grid)
+        for c, cell in enumerate(row)
+    ]
+
+
+def flatten_curves(
+    curves: Mapping[str, Sequence[Mapping[str, Scalar]]],
+    series_name: str = "series",
+) -> List[Dict[str, Scalar]]:
+    """Turn {series: [point, ...]} sweeps into long-format records."""
+    records: List[Dict[str, Scalar]] = []
+    for series, points in curves.items():
+        for point in points:
+            record: Dict[str, Scalar] = {series_name: series}
+            record.update(point)
+            records.append(record)
+    return records
+
+
+def export_experiment(name: str, data: Mapping, directory: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """Best-effort export of a harness result dict.
+
+    Understands the common shapes the harnesses return: per-series curves
+    (Figure 7/9), heat-map grids (Figures 1/2) and flat row lists
+    (sensitivity study).  Unrecognized values are skipped.
+    """
+    directory = pathlib.Path(directory)
+    written: List[pathlib.Path] = []
+    for key, value in data.items():
+        target = directory / f"{name}_{key}.csv"
+        try:
+            if (
+                isinstance(value, Mapping)
+                and value
+                and all(isinstance(v, (list, tuple)) for v in value.values())
+                and all(
+                    isinstance(p, Mapping) for v in value.values() for p in v
+                )
+            ):
+                written.append(write_rows(target, flatten_curves(value)))
+            elif (
+                isinstance(value, (list, tuple))
+                and value
+                and all(isinstance(v, Mapping) for v in value)
+            ):
+                written.append(write_rows(target, value))
+            elif (
+                isinstance(value, (list, tuple))
+                and value
+                and all(isinstance(v, (list, tuple)) for v in value)
+            ):
+                written.append(write_rows(target, flatten_grid(value)))
+        except (ValueError, TypeError):
+            continue
+    return written

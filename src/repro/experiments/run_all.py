@@ -1,0 +1,102 @@
+"""Regenerate every table and figure in one command.
+
+Usage::
+
+    python -m repro.experiments.run_all          # fast (reduced scale)
+    python -m repro.experiments.run_all --full   # paper-scale (slow)
+    python -m repro.experiments.run_all fig07 fig09   # a subset
+    python -m repro.experiments.run_all --csv out/    # also export CSVs
+
+Each harness prints the paper-shaped rows/series; EXPERIMENTS.md holds
+the recorded measured-vs-paper comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ablation_mechanisms,
+    fig01_utilization,
+    fig02_other_topologies,
+    fig07_ur_traffic,
+    fig08_breakdown,
+    fig09_nn_traffic,
+    fig10_torus,
+    fig11_applications,
+    fig12_ipc,
+    fig13_memctrl,
+    fig14_asymmetric,
+    sensitivity_big_routers,
+    table1_router_model,
+)
+
+HARNESSES = {
+    "table1": lambda fast: table1_router_model.main(),
+    "fig01": fig01_utilization.main,
+    "fig02": fig02_other_topologies.main,
+    "fig07": fig07_ur_traffic.main,
+    "fig08": fig08_breakdown.main,
+    "fig09": fig09_nn_traffic.main,
+    "fig10": fig10_torus.main,
+    "fig11": fig11_applications.main,
+    "fig12": fig12_ipc.main,
+    "fig13": fig13_memctrl.main,
+    "fig14": fig14_asymmetric.main,
+    "ablations": ablation_mechanisms.main,
+    "sensitivity": sensitivity_big_routers.main,
+}
+
+
+# Harnesses whose run() output export_experiment understands.
+_EXPORTABLE = {
+    "fig01": lambda fast: __import__(
+        "repro.experiments.fig01_utilization", fromlist=["run"]
+    ).run(fast=fast),
+    "fig07": lambda fast: __import__(
+        "repro.experiments.fig07_ur_traffic", fromlist=["run"]
+    ).run(fast=fast),
+    "fig09": lambda fast: __import__(
+        "repro.experiments.fig09_nn_traffic", fromlist=["run"]
+    ).run(fast=fast),
+    "sensitivity": lambda fast: __import__(
+        "repro.experiments.sensitivity_big_routers", fromlist=["run"]
+    ).run(fast=fast),
+}
+
+
+def main(argv: list) -> int:
+    fast = "--full" not in argv
+    csv_dir = None
+    if "--csv" in argv:
+        index = argv.index("--csv")
+        if index + 1 >= len(argv):
+            print("--csv needs a directory argument")
+            return 2
+        csv_dir = argv[index + 1]
+        argv = argv[:index] + argv[index + 2:]
+    selected = [a for a in argv if not a.startswith("-")]
+    names = selected or list(HARNESSES)
+    unknown = [n for n in names if n not in HARNESSES]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(HARNESSES)}")
+        return 2
+    for name in names:
+        print("=" * 72)
+        print(f"{name}  ({'fast' if fast else 'full'} scale)")
+        print("=" * 72)
+        start = time.time()
+        HARNESSES[name](fast)
+        if csv_dir and name in _EXPORTABLE:
+            from repro.experiments.export import export_experiment
+
+            written = export_experiment(name, _EXPORTABLE[name](fast), csv_dir)
+            for path in written:
+                print(f"  wrote {path}")
+        print(f"[{name} done in {time.time() - start:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,118 @@
+"""Sensitivity study: how many big routers should a HeteroNoC have?
+
+The paper fixes 16 big routers (2N) from symmetry and the power
+inequality, and explicitly defers the wide/narrow link-ratio sensitivity
+to future work (footnote 2).  This harness performs that study: it sweeps
+the big-router budget along generalized diagonal placements
+(:func:`repro.core.layouts.extended_diagonal_positions`), measuring
+
+* UR latency and accepted throughput at a fixed offered load,
+* modelled network power,
+* the wide-link fraction of the bisection, and
+* whether the power inequality (Section 2) still holds.
+
+The paper's own guideline predicts the interesting boundary: with Table 1
+router powers, power neutrality requires at least 38 small routers, i.e.
+at most 26 big ones on the 8x8 mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.hetero import bisection_bandwidth_bits, min_small_routers
+from repro.core.layouts import (
+    baseline_layout,
+    build_network,
+    custom_layout,
+    extended_diagonal_positions,
+)
+from repro.core.power import network_power_breakdown
+from repro.experiments.common import format_table, measurement_scale
+from repro.noc.topology import Mesh
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.runner import run_synthetic
+
+DEFAULT_BUDGETS = (0, 8, 16, 24, 32)
+
+
+def run(
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    rate: float = 0.05,
+    mesh_size: int = 8,
+    fast: bool = True,
+    seed: int = 11,
+) -> Dict[str, object]:
+    scale = measurement_scale(fast)
+    max_big_power_neutral = mesh_size**2 - min_small_routers(mesh_size)
+    mesh = Mesh(mesh_size)
+    rows: List[Dict[str, object]] = []
+    for num_big in budgets:
+        if num_big == 0:
+            layout = baseline_layout(mesh_size)
+        else:
+            layout = custom_layout(
+                f"diag-ext-{num_big}",
+                extended_diagonal_positions(mesh_size, num_big),
+                mesh_size=mesh_size,
+            )
+        network = build_network(layout)
+        result = run_synthetic(
+            network,
+            UniformRandom(network.topology.num_nodes),
+            rate,
+            seed=seed,
+            **scale,
+        )
+        power = network_power_breakdown(network, result.stats)
+        configs = layout.router_configs("strict")
+        bisection = bisection_bandwidth_bits(mesh, configs)
+        rows.append(
+            {
+                "num_big": num_big,
+                "latency_cycles": result.stats.avg_latency_cycles,
+                "latency_ns": result.avg_latency_ns(layout.frequency_ghz),
+                "throughput": result.throughput_packets_per_node_cycle,
+                "power_w": power["total"],
+                "bisection_bits": bisection,
+                "power_neutral": num_big <= max_big_power_neutral,
+            }
+        )
+    return {
+        "rate": rate,
+        "rows": rows,
+        "max_big_power_neutral": max_big_power_neutral,
+    }
+
+
+def main(fast: bool = True) -> None:
+    data = run(fast=fast)
+    print(
+        f"Sensitivity: big-router budget on the 8x8 mesh "
+        f"(UR @ {data['rate']} packets/node/cycle)"
+    )
+    print(
+        f"power-neutrality bound (Section 2 inequality): "
+        f"<= {data['max_big_power_neutral']} big routers\n"
+    )
+    table_rows = [
+        [
+            row["num_big"],
+            f"{row['latency_ns']:.1f}",
+            f"{row['throughput']:.4f}",
+            f"{row['power_w']:.1f}",
+            row["bisection_bits"],
+            "yes" if row["power_neutral"] else "NO",
+        ]
+        for row in data["rows"]
+    ]
+    print(
+        format_table(
+            ["big", "latency ns", "throughput", "power W", "bisection b", "power-neutral"],
+            table_rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(fast=False)

@@ -1,0 +1,49 @@
+"""Cycle-accurate network-on-chip simulator substrate.
+
+This subpackage implements the wormhole-switched, virtual-channel,
+credit-flow-controlled on-chip network model that the HeteroNoC paper
+evaluates on: a two-stage pipelined router (Peh & Dally style), deterministic
+X-Y routing (plus torus and table-based variants), and the mesh, torus,
+concentrated-mesh and flattened-butterfly topologies.
+
+The public entry point is :class:`repro.noc.network.Network`, normally built
+from a layout produced by :mod:`repro.core.layouts`.
+"""
+
+from repro.noc.config import NetworkConfig, RouterConfig
+from repro.noc.flit import Flit, FlitType, Packet
+from repro.noc.network import Network
+from repro.noc.routing import (
+    RoutingError,
+    TableRouting,
+    TorusXYRouting,
+    XYRouting,
+)
+from repro.noc.stats import LatencyRecord, NetworkStats
+from repro.noc.topology import (
+    ConcentratedMesh,
+    FlattenedButterfly,
+    Mesh,
+    Topology,
+    Torus,
+)
+
+__all__ = [
+    "ConcentratedMesh",
+    "Flit",
+    "FlitType",
+    "FlattenedButterfly",
+    "LatencyRecord",
+    "Mesh",
+    "Network",
+    "NetworkConfig",
+    "NetworkStats",
+    "Packet",
+    "RouterConfig",
+    "RoutingError",
+    "TableRouting",
+    "Topology",
+    "Torus",
+    "TorusXYRouting",
+    "XYRouting",
+]

@@ -1,0 +1,96 @@
+"""Arbiters used by the router's allocation stages.
+
+The baseline switch-allocation stage (Section 3.3, Figure 6a) is two
+sub-stages: a v:1 arbiter per input port picks one VC to bid, then a p:1
+arbiter per output port picks one input port.  HeteroNoC adds a *second*
+parallel p:1 arbiter per wide output port so that a matching second flit can
+share the 256-bit link (Figure 6b).
+
+We model all of these with round-robin arbiters, the common NoC choice for
+its strong local fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class RoundRobinArbiter:
+    """Round-robin arbiter over a fixed number of request lines."""
+
+    def __init__(self, num_requesters: int) -> None:
+        if num_requesters < 1:
+            raise ValueError(
+                f"arbiter needs >= 1 requester, got {num_requesters}"
+            )
+        self.num_requesters = num_requesters
+        self._next = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Grant one of the asserted request lines, rotating priority.
+
+        Returns the granted index, or ``None`` when nothing is requested.
+        The winner becomes the *lowest* priority for the next arbitration.
+        """
+        if len(requests) != self.num_requesters:
+            raise ValueError(
+                f"expected {self.num_requesters} request lines, "
+                f"got {len(requests)}"
+            )
+        for offset in range(self.num_requesters):
+            index = (self._next + offset) % self.num_requesters
+            if requests[index]:
+                self._next = (index + 1) % self.num_requesters
+                return index
+        return None
+
+    def grant_from(self, indices: Iterable[int]) -> Optional[int]:
+        """Grant among a sparse set of requesting indices."""
+        requests = [False] * self.num_requesters
+        any_request = False
+        for index in indices:
+            requests[index] = True
+            any_request = True
+        if not any_request:
+            return None
+        return self.grant(requests)
+
+
+class TwoStageAllocator:
+    """The paper's two-sub-stage switch allocator.
+
+    Sub-stage 1: one v:1 arbiter per input port chooses which VC of that
+    port bids for the switch this cycle.  Sub-stage 2: one p:1 arbiter per
+    output port chooses among the bidding input ports.  Wide output ports
+    run a second parallel p:1 arbiter (``grant_second``) that supplies a
+    matching second flit when one exists (flit-combining cases (a)/(b) of
+    Section 3.3).
+    """
+
+    def __init__(self, num_ports: int, vcs_per_port: Sequence[int]) -> None:
+        if len(vcs_per_port) != num_ports:
+            raise ValueError("vcs_per_port must have one entry per port")
+        self.num_ports = num_ports
+        self.input_stage = [RoundRobinArbiter(v) for v in vcs_per_port]
+        self.output_stage = [RoundRobinArbiter(num_ports) for _ in range(num_ports)]
+        self.second_output_stage = [
+            RoundRobinArbiter(num_ports) for _ in range(num_ports)
+        ]
+
+    def pick_input_vc(self, port: int, requesting_vcs: Iterable[int]) -> Optional[int]:
+        """Sub-stage 1 for one input port."""
+        return self.input_stage[port].grant_from(requesting_vcs)
+
+    def pick_output_winner(
+        self, out_port: int, requesting_inputs: Iterable[int]
+    ) -> Optional[int]:
+        """Sub-stage 2, first arbiter."""
+        return self.output_stage[out_port].grant_from(requesting_inputs)
+
+    def pick_second_winner(
+        self, out_port: int, requesting_inputs: Iterable[int]
+    ) -> Optional[int]:
+        """Sub-stage 2, second parallel arbiter (wide outputs only)."""
+        return self.second_output_stage[out_port].grant_from(requesting_inputs)

@@ -1,0 +1,52 @@
+"""Links (directed channels) between routers.
+
+A link's width relative to the network flit width decides how many flits it
+moves per cycle (its *lanes*): baseline 192 b links carry one 192 b flit,
+HeteroNoC narrow 128 b links carry one 128 b flit, and wide 256 b links
+carry up to two merged 128 b flits (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.config import RouterConfig
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed router-to-router (or router-to-node) channel."""
+
+    src_router: int
+    src_port: int
+    dst_router: int
+    dst_port: int
+    width_bits: int
+    flit_width_bits: int
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width_bits < self.flit_width_bits:
+            raise ValueError(
+                f"link width {self.width_bits} narrower than flit "
+                f"width {self.flit_width_bits}"
+            )
+        if self.delay < 1:
+            raise ValueError(f"link delay must be >= 1, got {self.delay}")
+
+    @property
+    def lanes(self) -> int:
+        """Flits this link can carry per cycle."""
+        return self.width_bits // self.flit_width_bits
+
+
+def link_width_between(a: RouterConfig, b: RouterConfig) -> int:
+    """Width of the channel joining routers provisioned as ``a`` and ``b``.
+
+    Per Section 3.2: a 256 b (wide) link exists between a small and a big
+    router and between two big routers; small-small pairs get narrow links.
+    Expressed generally: the channel is as wide as the wider endpoint.
+    In the baseline and +B layouts every router drives 192 b links, so the
+    rule degenerates to 192 b everywhere.
+    """
+    return max(a.link_width, b.link_width)

@@ -1,0 +1,444 @@
+"""The assembled network: routers, links, injection and the cycle loop.
+
+A :class:`Network` is built from a topology, a per-router configuration map
+(produced by :mod:`repro.core.layouts` for the paper's seven
+configurations), a :class:`~repro.noc.config.NetworkConfig` and a routing
+discipline.  Higher layers interact with it through three calls:
+
+* :meth:`Network.enqueue` -- hand a packet to its source queue;
+* :meth:`Network.step` -- advance one clock cycle;
+* :meth:`Network.stats` -- the :class:`~repro.noc.stats.NetworkStats`
+  collector for packets marked ``measured``.
+
+Per-cycle phase order (chosen so that no flit uses a resource in the same
+cycle it is produced):
+
+1. deliver link arrivals and credit returns scheduled for this cycle;
+2. inject source-queue flits into local input buffers;
+3. RC + VC allocation at every router holding flits;
+4. switch allocation + traversal; departures are scheduled onto links and
+   ejections are consumed;
+5. occupancy sampling (measurement window only).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.noc.config import NetworkConfig, RouterConfig
+from repro.noc.flit import Flit, Packet, flits_per_packet
+from repro.noc.link import Link, link_width_between
+from repro.noc.router import Grant, Router
+from repro.noc.routing import Routing, minimal_routing_for
+from repro.noc.stats import LatencyRecord, NetworkStats
+from repro.noc.topology import Topology
+
+
+class _SourceState:
+    """Injection-side state of one terminal node."""
+
+    __slots__ = ("queue", "flits", "next_flit", "vc")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Packet] = deque()
+        self.flits: List[Flit] = []
+        self.next_flit = 0
+        self.vc: Optional[int] = None
+
+    @property
+    def mid_packet(self) -> bool:
+        return self.next_flit < len(self.flits)
+
+
+class Network:
+    """A simulated on-chip network instance."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        router_configs: Dict[int, RouterConfig],
+        network_config: Optional[NetworkConfig] = None,
+        routing: Optional[Routing] = None,
+    ) -> None:
+        if set(router_configs) != set(range(topology.num_routers)):
+            raise ValueError(
+                "router_configs must map every router id exactly once"
+            )
+        self.topology = topology
+        self.router_configs = dict(router_configs)
+        self.config = network_config or NetworkConfig()
+        self.routing = routing or minimal_routing_for(topology)
+        widths = {cfg.flit_width for cfg in router_configs.values()}
+        if len(widths) != 1:
+            raise ValueError(
+                f"all routers must share one flit width, got {sorted(widths)}"
+            )
+        self.flit_width = widths.pop()
+
+        self.routers: List[Router] = []
+        for rid in range(topology.num_routers):
+            n_ports = topology.num_ports(rid)
+            locals_ = [
+                p for p in range(n_ports) if topology.is_local_port(rid, p)
+            ]
+            self.routers.append(
+                Router(rid, router_configs[rid], n_ports, locals_, self.config)
+            )
+        self._wire_links()
+
+        self.sources = [_SourceState() for _ in range(topology.num_nodes)]
+        self.cycle = 0
+        self._arrivals: Dict[int, List[Tuple[int, int, int, Flit]]] = {}
+        # credit events: (router, port, vc, release_vc_too)
+        self._credits: Dict[int, List[Tuple[int, int, int, bool]]] = {}
+        self._stats = NetworkStats(topology.num_routers, topology.num_nodes)
+        # The stats object aggregates the *routers'* live activity counters.
+        self._stats.router_activity = [r.activity for r in self.routers]
+        self.measuring = False
+        self.packets_in_flight = 0
+        #: optional callback fired on every delivered packet
+        self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+        for src, sport, _dst, _dport in topology.channels():
+            link = self.routers[src].out_links[sport]
+            if link is not None:
+                self._stats.link_lanes[(src, sport)] = link.lanes
+
+    # -- construction ---------------------------------------------------------
+    def _wire_links(self) -> None:
+        topo = self.topology
+        for rid, router in enumerate(self.routers):
+            for port in range(router.num_ports):
+                if topo.is_local_port(rid, port):
+                    # Ejection: no downstream credits; lanes follow the
+                    # router's own link width.
+                    router.attach_output(port, None, 0, 0)
+                    continue
+                neighbor = topo.neighbor(rid, port)
+                if neighbor is None:
+                    router.attach_output(port, None, 0, 0)
+                    continue
+                other, other_port = neighbor
+                other_cfg = self.router_configs[other]
+                link = Link(
+                    src_router=rid,
+                    src_port=port,
+                    dst_router=other,
+                    dst_port=other_port,
+                    width_bits=link_width_between(
+                        self.router_configs[rid], other_cfg
+                    ),
+                    flit_width_bits=self.flit_width,
+                    delay=self.config.link_delay,
+                )
+                router.attach_output(
+                    port, link, other_cfg.num_vcs, other_cfg.buffer_depth
+                )
+
+    # -- public API -------------------------------------------------------------
+    @property
+    def stats(self) -> NetworkStats:
+        return self._stats
+
+    def begin_measurement(self) -> None:
+        """Open the measurement window: snapshot event counters so that
+        utilization and power cover exactly the window."""
+        self._activity_snapshot = [r.activity.snapshot() for r in self.routers]
+        self.measuring = True
+
+    def end_measurement(self) -> None:
+        """Close the window and freeze its activity deltas into the stats."""
+        self.measuring = False
+        snapshot = getattr(self, "_activity_snapshot", None)
+        if snapshot is None:
+            raise RuntimeError("end_measurement() without begin_measurement()")
+        self._stats.router_activity = [
+            router.activity.delta_since(start)
+            for router, start in zip(self.routers, snapshot)
+        ]
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (counters and records only)."""
+        self._stats = NetworkStats(
+            self.topology.num_routers, self.topology.num_nodes
+        )
+        for src, sport, _dst, _dport in self.topology.channels():
+            link = self.routers[src].out_links[sport]
+            if link is not None:
+                self._stats.link_lanes[(src, sport)] = link.lanes
+        for router in self.routers:
+            router.activity = type(router.activity)(
+                buffer_capacity_flits=router.activity.buffer_capacity_flits
+            )
+        self._stats.router_activity = [r.activity for r in self.routers]
+
+    def make_packet(
+        self,
+        src: int,
+        dst: int,
+        payload_bits: Optional[int] = None,
+        packet_class: str = "data",
+        payload: object = None,
+    ) -> Packet:
+        """Build a packet sized for this network's flit width."""
+        bits = payload_bits if payload_bits is not None else self.config.data_packet_bits
+        return Packet(
+            src=src,
+            dst=dst,
+            num_flits=flits_per_packet(bits, self.flit_width),
+            created_at=self.cycle,
+            packet_class=packet_class,
+            payload=payload,
+        )
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue ``packet`` at its source node.
+
+        Returns ``False`` (and drops the packet) when the source queue is
+        at its configured limit -- the closed-loop/back-pressured setting.
+        """
+        source = self.sources[packet.src]
+        limit = self.config.source_queue_limit
+        if limit is not None and len(source.queue) >= limit:
+            return False
+        if packet.measured:
+            self._stats.packets_offered += 1
+        source.queue.append(packet)
+        self.packets_in_flight += 1
+        return True
+
+    def idle(self) -> bool:
+        """True when no packet is queued, buffered or on a link."""
+        return self.packets_in_flight == 0
+
+    def step(self) -> None:
+        """Advance the network by one clock cycle."""
+        cycle = self.cycle
+        self._deliver_arrivals(cycle)
+        self._deliver_credits(cycle)
+        self._inject(cycle)
+        routing = self.routing
+        for router in self.routers:
+            if router.occupied_flits:
+                router.allocate_vcs(routing, cycle)
+        for router in self.routers:
+            if not router.occupied_flits:
+                continue
+            grants = router.allocate_switch(cycle)
+            if grants:
+                self._transport(router, grants, cycle)
+        if self.measuring:
+            self._stats.measured_cycles += 1
+            for router in self.routers:
+                router.sample_occupancy()
+        self.cycle = cycle + 1
+
+    def run_cycles(self, n: int) -> None:
+        for _ in range(n):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Run until every queued packet has been delivered."""
+        deadline = self.cycle + max_cycles
+        while not self.idle():
+            if self.cycle >= deadline:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    f"({self.packets_in_flight} packets stuck) -- possible "
+                    "deadlock or overload"
+                )
+            self.step()
+        # Flush in-flight credit returns so the network is fully quiesced.
+        while self._credits or self._arrivals:
+            self.step()
+
+    # -- cycle phases -------------------------------------------------------------
+    def _deliver_arrivals(self, cycle: int) -> None:
+        events = self._arrivals.pop(cycle, None)
+        if not events:
+            return
+        for router_id, port, vc, flit in events:
+            self.routers[router_id].write_flit(port, vc, flit, cycle)
+
+    def _deliver_credits(self, cycle: int) -> None:
+        events = self._credits.pop(cycle, None)
+        if not events:
+            return
+        for router_id, port, vc, release in events:
+            router = self.routers[router_id]
+            router.return_credit(port, vc)
+            if release:
+                router.release_vc(port, vc)
+
+    def _inject(self, cycle: int) -> None:
+        topo = self.topology
+        for node, source in enumerate(self.sources):
+            if not source.mid_packet and not source.queue:
+                continue
+            router = self.routers[topo.router_of_node(node)]
+            port = topo.local_port_of_node(node)
+            lanes = router.config.lanes if self.config.flit_merging else 1
+            budget = lanes
+            while budget > 0:
+                if not source.mid_packet:
+                    if not source.queue:
+                        break
+                    vc = self._pick_injection_vc(router, port)
+                    if vc is None:
+                        break
+                    packet = source.queue.popleft()
+                    source.flits = packet.make_flits()
+                    source.next_flit = 0
+                    source.vc = vc
+                    packet.injected_at = cycle
+                    packet.min_lanes = lanes
+                if router.free_slots(port, source.vc) == 0:
+                    break
+                flit = source.flits[source.next_flit]
+                router.write_flit(port, source.vc, flit, cycle)
+                source.next_flit += 1
+                budget -= 1
+                if not source.mid_packet:
+                    source.flits = []
+                    source.vc = None
+
+    def _pick_injection_vc(self, router: Router, port: int) -> Optional[int]:
+        """Pick a local input VC for a new packet.
+
+        The network interface is allowed to stream packets back-to-back
+        into a VC FIFO (an idealized NI with per-packet segmentation), so
+        a busy VC with free slots is acceptable; an idle VC is preferred.
+        Inter-router VC reallocation stays conservative -- only the
+        injection path is relaxed, else low-VC routers starve their own
+        sources.
+        """
+        fallback, fallback_free = None, 0
+        for vc in range(router.config.num_vcs):
+            free = router.free_slots(port, vc)
+            if free == 0:
+                continue
+            if router.input_vc_free(port, vc):
+                return vc
+            if free > fallback_free:
+                fallback, fallback_free = vc, free
+        return fallback
+
+    def _transport(
+        self, router: Router, grants: List[Grant], cycle: int
+    ) -> None:
+        topo = self.topology
+        rid = router.router_id
+        used_ports = set()
+        for grant in grants:
+            router.commit_grant(grant)
+            flit = grant.flit
+            packet = flit.packet
+            if router.is_ejection[grant.out_port]:
+                if flit.is_head and packet.min_lanes is not None:
+                    eject_lanes = (
+                        router.config.lanes if self.config.flit_merging else 1
+                    )
+                    packet.min_lanes = min(packet.min_lanes, eject_lanes)
+                if flit.is_tail:
+                    self._complete_packet(packet, cycle)
+            else:
+                link = router.out_links[grant.out_port]
+                if flit.is_head:
+                    packet.hops += 1
+                    if packet.min_lanes is not None:
+                        lanes = link.lanes if self.config.flit_merging else 1
+                        packet.min_lanes = min(packet.min_lanes, lanes)
+                self._arrivals.setdefault(cycle + link.delay, []).append(
+                    (link.dst_router, link.dst_port, grant.out_vc, flit)
+                )
+                if self.measuring:
+                    key = (rid, grant.out_port)
+                    self._stats.link_flits[key] = (
+                        self._stats.link_flits.get(key, 0) + 1
+                    )
+                    used_ports.add(grant.out_port)
+            # Credit for the freed input slot returns to the upstream router
+            # (injection from the local node needs none: the source reads
+            # buffer occupancy directly).
+            if not topo.is_local_port(rid, grant.in_port):
+                upstream = topo.neighbor(rid, grant.in_port)
+                if upstream is not None:
+                    up_router, up_port = upstream
+                    self._credits.setdefault(
+                        cycle + self.config.credit_delay, []
+                    ).append(
+                        # A tail pop also releases the VC for a new packet
+                        # (conservative VC reallocation).
+                        (up_router, up_port, grant.in_vc, flit.is_tail)
+                    )
+        if self.measuring:
+            for port in used_ports:
+                key = (rid, port)
+                self._stats.link_busy_cycles[key] = (
+                    self._stats.link_busy_cycles.get(key, 0) + 1
+                )
+
+    def _complete_packet(self, packet: Packet, cycle: int) -> None:
+        packet.received_at = cycle
+        self.packets_in_flight -= 1
+        if self.measuring:
+            self._stats.window_packet_deliveries += 1
+            self._stats.window_flit_deliveries += packet.num_flits
+        if packet.measured:
+            self._stats.record_packet(self._latency_record(packet))
+        if self.on_delivery is not None:
+            self.on_delivery(packet, cycle)
+
+    def _latency_record(self, packet: Packet) -> LatencyRecord:
+        stages = self.config.router_pipeline_stages
+        hop_cost = (stages - 1) + self.config.link_delay
+        lanes = packet.min_lanes or 1
+        serialization = math.ceil((packet.num_flits - 1) / lanes)
+        transfer = hop_cost * packet.hops + (stages - 1) + serialization
+        total = packet.received_at - packet.created_at
+        queuing = packet.injected_at - packet.created_at
+        blocking = total - queuing - transfer
+        if blocking < 0:
+            # A packet can (slightly) beat the analytic zero-load bound:
+            # when contention delays the head, trailing flits bunch up and
+            # later wide links carry them two per cycle, recovering
+            # serialization the bound charged to the narrowest link.
+            # Attribute the whole in-network time to transfer then.
+            minimum = hop_cost * packet.hops + (stages - 1)
+            if total - queuing < minimum:
+                raise RuntimeError(
+                    f"packet {packet.packet_id} beat the per-hop pipeline "
+                    f"bound ({total - queuing} < {minimum} cycles); the "
+                    "router model violated its own timing"
+                )
+            transfer = total - queuing
+            blocking = 0
+        return LatencyRecord(
+            packet_id=packet.packet_id,
+            src=packet.src,
+            dst=packet.dst,
+            num_flits=packet.num_flits,
+            hops=packet.hops,
+            total=total,
+            queuing=queuing,
+            transfer=transfer,
+            blocking=blocking,
+            packet_class=packet.packet_class,
+        )
+
+    # -- diagnostics ---------------------------------------------------------------
+    def total_buffered_flits(self) -> int:
+        return sum(router.occupied_flits for router in self.routers)
+
+    def describe(self) -> str:
+        """One-line human description of the network build."""
+        kinds: Dict[str, int] = {}
+        for cfg in self.router_configs.values():
+            kinds[cfg.kind] = kinds.get(cfg.kind, 0) + 1
+        kind_text = ", ".join(f"{v} {k}" for k, v in sorted(kinds.items()))
+        return (
+            f"{type(self.topology).__name__} with {self.topology.num_routers} "
+            f"routers ({kind_text}), flit width {self.flit_width} b, "
+            f"{self.config.frequency_ghz:.2f} GHz"
+        )

@@ -1,0 +1,241 @@
+"""Measurement and statistics collection for network simulations.
+
+End-to-end packet latency is decomposed the way the paper's Figure 8(a)
+does:
+
+* **queuing latency** -- cycles spent waiting in the source queue before the
+  head flit enters the injection port;
+* **transfer latency** -- the zero-load component: router pipeline plus link
+  traversal per hop, plus tail serialization over the narrowest link of the
+  path (halved where two flits travel a wide link together);
+* **blocking latency** -- the remainder: contention stalls at intermediate
+  hops.
+
+The collector also integrates per-router buffer occupancy and per-channel
+link usage (the Figure 1 heat maps) and counts the micro-events (buffer
+reads/writes, crossbar traversals, arbitrations, link flit-traversals) that
+the power model (:mod:`repro.core.power`) converts into Watts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LatencyRecord:
+    """Latency decomposition of one delivered packet (cycles)."""
+
+    packet_id: int
+    src: int
+    dst: int
+    num_flits: int
+    hops: int
+    total: int
+    queuing: int
+    transfer: int
+    blocking: int
+    packet_class: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.total != self.queuing + self.transfer + self.blocking:
+            raise ValueError(
+                "latency components must sum to the total "
+                f"({self.queuing}+{self.transfer}+{self.blocking} != {self.total})"
+            )
+
+
+@dataclass
+class RouterActivity:
+    """Per-router micro-event counters for power and utilization."""
+
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    crossbar_traversals: int = 0
+    arbitrations: int = 0
+    route_computations: int = 0
+    vc_allocations: int = 0
+    merged_flit_pairs: int = 0
+    # Sum over sampled cycles of (occupied flit slots); divide by
+    # (cycles * capacity) for average buffer utilization.
+    occupancy_integral: int = 0
+    buffer_capacity_flits: int = 0
+
+    _COUNTER_FIELDS = (
+        "buffer_writes",
+        "buffer_reads",
+        "crossbar_traversals",
+        "arbitrations",
+        "route_computations",
+        "vc_allocations",
+        "merged_flit_pairs",
+        "occupancy_integral",
+    )
+
+    def snapshot(self) -> "RouterActivity":
+        """Copy of the current counter values."""
+        return RouterActivity(
+            **{f: getattr(self, f) for f in self._COUNTER_FIELDS},
+            buffer_capacity_flits=self.buffer_capacity_flits,
+        )
+
+    def delta_since(self, start: "RouterActivity") -> "RouterActivity":
+        """Counters accumulated since ``start`` (a measurement window)."""
+        return RouterActivity(
+            **{
+                f: getattr(self, f) - getattr(start, f)
+                for f in self._COUNTER_FIELDS
+            },
+            buffer_capacity_flits=self.buffer_capacity_flits,
+        )
+
+
+class NetworkStats:
+    """Accumulates measurements over a simulation's measurement window."""
+
+    def __init__(self, num_routers: int, num_nodes: int) -> None:
+        self.num_routers = num_routers
+        self.num_nodes = num_nodes
+        self.records: List[LatencyRecord] = []
+        self.router_activity = [RouterActivity() for _ in range(num_routers)]
+        # (src_router, src_port) -> flits carried
+        self.link_flits: Dict[Tuple[int, int], int] = {}
+        # (src_router, src_port) -> cycles in which the link was busy
+        self.link_busy_cycles: Dict[Tuple[int, int], int] = {}
+        self.link_lanes: Dict[Tuple[int, int], int] = {}
+        self.measured_cycles: int = 0
+        self.flits_delivered: int = 0
+        self.packets_delivered: int = 0
+        self.packets_offered: int = 0
+        # All deliveries that happened while the measurement window was
+        # open, whether or not the packet itself was marked measured; this
+        # is the "accepted traffic" throughput numerator.
+        self.window_packet_deliveries: int = 0
+        self.window_flit_deliveries: int = 0
+        self.start_cycle: Optional[int] = None
+        self.end_cycle: Optional[int] = None
+
+    # -- recording ----------------------------------------------------------
+    def record_packet(self, record: LatencyRecord) -> None:
+        self.records.append(record)
+        self.packets_delivered += 1
+        self.flits_delivered += record.num_flits
+
+    def record_link_use(
+        self, src_router: int, src_port: int, num_flits: int
+    ) -> None:
+        key = (src_router, src_port)
+        self.link_flits[key] = self.link_flits.get(key, 0) + num_flits
+        self.link_busy_cycles[key] = self.link_busy_cycles.get(key, 0) + 1
+
+    # -- aggregate latency metrics -------------------------------------------
+    def _mean(self, values: List[float]) -> float:
+        if not values:
+            raise ValueError("no packets were measured")
+        return sum(values) / len(values)
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        return self._mean([r.total for r in self.records])
+
+    @property
+    def avg_network_latency_cycles(self) -> float:
+        """Mean latency excluding source queuing (in-network time only)."""
+        return self._mean([r.total - r.queuing for r in self.records])
+
+    @property
+    def avg_queuing_cycles(self) -> float:
+        return self._mean([r.queuing for r in self.records])
+
+    @property
+    def avg_blocking_cycles(self) -> float:
+        return self._mean([r.blocking for r in self.records])
+
+    @property
+    def avg_transfer_cycles(self) -> float:
+        return self._mean([r.transfer for r in self.records])
+
+    @property
+    def avg_hops(self) -> float:
+        return self._mean([r.hops for r in self.records])
+
+    def avg_latency_ns(self, frequency_ghz: float) -> float:
+        """Mean end-to-end latency in nanoseconds at a given clock."""
+        return self.avg_latency_cycles / frequency_ghz
+
+    def latency_percentile(self, fraction: float) -> float:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        ordered = sorted(r.total for r in self.records)
+        if not ordered:
+            raise ValueError("no packets were measured")
+        index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+        return float(ordered[max(0, index)])
+
+    def latency_std_cycles(self) -> float:
+        """Standard deviation of packet latency (Figure 13b's jitter)."""
+        totals = [r.total for r in self.records]
+        mean = self._mean(totals)
+        return math.sqrt(sum((t - mean) ** 2 for t in totals) / len(totals))
+
+    # -- throughput -----------------------------------------------------------
+    @property
+    def accepted_packets_per_node_per_cycle(self) -> float:
+        if self.measured_cycles == 0:
+            raise ValueError("measurement window is empty")
+        return self.window_packet_deliveries / (
+            self.measured_cycles * self.num_nodes
+        )
+
+    @property
+    def accepted_flits_per_node_per_cycle(self) -> float:
+        if self.measured_cycles == 0:
+            raise ValueError("measurement window is empty")
+        return self.window_flit_deliveries / (
+            self.measured_cycles * self.num_nodes
+        )
+
+    # -- utilization ----------------------------------------------------------
+    def buffer_utilization(self, router: int) -> float:
+        """Time-average fraction of the router's flit slots that were full."""
+        activity = self.router_activity[router]
+        if self.measured_cycles == 0 or activity.buffer_capacity_flits == 0:
+            return 0.0
+        denom = self.measured_cycles * activity.buffer_capacity_flits
+        return activity.occupancy_integral / denom
+
+    def link_utilization(self, src_router: int, src_port: int) -> float:
+        """Fraction of cycles the channel carried at least one flit."""
+        if self.measured_cycles == 0:
+            return 0.0
+        busy = self.link_busy_cycles.get((src_router, src_port), 0)
+        return busy / self.measured_cycles
+
+    def router_link_utilization(self, router: int, num_ports: int) -> float:
+        """Mean utilization of the router's outgoing network channels."""
+        values = [
+            self.link_utilization(router, port)
+            for port in range(num_ports)
+            if (router, port) in self.link_lanes
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    # -- convenience ----------------------------------------------------------
+    def summary(self, frequency_ghz: float = 1.0) -> Dict[str, float]:
+        """Headline numbers as a plain dict (handy for printing tables)."""
+        return {
+            "packets": float(self.packets_delivered),
+            "avg_latency_cycles": self.avg_latency_cycles,
+            "avg_latency_ns": self.avg_latency_ns(frequency_ghz),
+            "avg_queuing_cycles": self.avg_queuing_cycles,
+            "avg_blocking_cycles": self.avg_blocking_cycles,
+            "avg_transfer_cycles": self.avg_transfer_cycles,
+            "avg_hops": self.avg_hops,
+            "throughput_packets_per_node_cycle": (
+                self.accepted_packets_per_node_per_cycle
+            ),
+        }

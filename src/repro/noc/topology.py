@@ -1,0 +1,407 @@
+"""Network topologies.
+
+Every topology maps *nodes* (cores / cache banks / memory controllers) onto
+*routers* and describes the channel graph between routers.  Ports are small
+integers local to a router; a port index serves both the input and output
+role toward the same neighbour (the usual full-duplex channel pair).
+
+Topologies implemented (all used by the paper):
+
+* :class:`Mesh` -- the N x N 2-D mesh, the paper's primary platform.
+* :class:`Torus` -- edge-symmetric comparison network (Section 5.1.1).
+* :class:`ConcentratedMesh` -- k x k routers with a concentration degree
+  (4 nodes per router in Figure 2a).
+* :class:`FlattenedButterfly` -- 64 nodes on 16 fully row/column-connected
+  routers (Figure 2b, after Kim/Dally/Abts).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+Channel = Tuple[int, int, int, int]
+"""A directed channel: (src_router, src_port, dst_router, dst_port)."""
+
+# Canonical direction port indices for mesh-like topologies (after the
+# local ports).  Mesh and torus have one local port, so LOCAL == 0 and the
+# directions are 1..4.
+NORTH, EAST, SOUTH, WEST = range(4)
+DIRECTION_NAMES = {NORTH: "north", EAST: "east", SOUTH: "south", WEST: "west"}
+
+
+class Topology:
+    """Base class: the router/channel graph and the node->router mapping."""
+
+    #: number of terminal nodes attached to the network
+    num_nodes: int
+    #: number of routers
+    num_routers: int
+
+    def num_ports(self, router: int) -> int:
+        """Total ports (local + network) on ``router``."""
+        raise NotImplementedError
+
+    def num_local_ports(self, router: int) -> int:
+        """Ports on ``router`` that attach terminal nodes."""
+        raise NotImplementedError
+
+    def router_of_node(self, node: int) -> int:
+        """Router to which terminal ``node`` attaches."""
+        raise NotImplementedError
+
+    def local_port_of_node(self, node: int) -> int:
+        """Port index on ``router_of_node(node)`` that serves ``node``."""
+        raise NotImplementedError
+
+    def node_at(self, router: int, local_port: int) -> int:
+        """Terminal node attached to ``router`` at ``local_port``."""
+        raise NotImplementedError
+
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        """``(neighbor_router, neighbor_port)`` for a network port.
+
+        Returns ``None`` for local ports and unconnected edge ports.
+        """
+        raise NotImplementedError
+
+    def channels(self) -> Iterator[Channel]:
+        """All directed router-to-router channels."""
+        for router in range(self.num_routers):
+            for port in range(self.num_ports(router)):
+                other = self.neighbor(router, port)
+                if other is not None:
+                    yield (router, port, other[0], other[1])
+
+    def is_local_port(self, router: int, port: int) -> bool:
+        return port < self.num_local_ports(router)
+
+    def bisection_channels(self) -> List[Channel]:
+        """Directed channels crossing the vertical bisection, left-to-right.
+
+        Used to check the paper's constant-bisection-bandwidth constraint.
+        """
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Check channel-graph consistency (each channel has a twin)."""
+        for src, sport, dst, dport in self.channels():
+            back = self.neighbor(dst, dport)
+            if back != (src, sport):
+                raise ValueError(
+                    f"asymmetric channel: {src}:{sport} -> {dst}:{dport} "
+                    f"but reverse is {back}"
+                )
+        for node in range(self.num_nodes):
+            router = self.router_of_node(node)
+            port = self.local_port_of_node(node)
+            if self.node_at(router, port) != node:
+                raise ValueError(f"node map inconsistent for node {node}")
+
+
+class Mesh(Topology):
+    """N x N 2-D mesh with one terminal node per router.
+
+    Routers are numbered row-major; node ``i`` attaches to router ``i``.
+    Port 0 is the local port; ports 1..4 are north/east/south/west.
+    """
+
+    LOCAL = 0
+
+    def __init__(self, width: int, height: Optional[int] = None) -> None:
+        if width < 2:
+            raise ValueError(f"mesh width must be >= 2, got {width}")
+        self.width = width
+        self.height = height if height is not None else width
+        if self.height < 2:
+            raise ValueError(f"mesh height must be >= 2, got {self.height}")
+        self.num_routers = self.width * self.height
+        self.num_nodes = self.num_routers
+
+    # -- coordinates -------------------------------------------------------
+    def coords(self, router: int) -> Tuple[int, int]:
+        """(row, col) of ``router``."""
+        return divmod(router, self.width)
+
+    def router_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise ValueError(f"({row}, {col}) outside {self.height}x{self.width} mesh")
+        return row * self.width + col
+
+    # -- Topology interface ------------------------------------------------
+    def num_ports(self, router: int) -> int:
+        return 5
+
+    def num_local_ports(self, router: int) -> int:
+        return 1
+
+    def router_of_node(self, node: int) -> int:
+        return node
+
+    def local_port_of_node(self, node: int) -> int:
+        return self.LOCAL
+
+    def node_at(self, router: int, local_port: int) -> int:
+        if local_port != self.LOCAL:
+            raise ValueError(f"mesh routers have one local port, not {local_port}")
+        return router
+
+    def direction_port(self, direction: int) -> int:
+        """Port index for a compass direction constant."""
+        return 1 + direction
+
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port == self.LOCAL:
+            return None
+        row, col = self.coords(router)
+        direction = port - 1
+        if direction == NORTH and row > 0:
+            return (router - self.width, self.direction_port(SOUTH))
+        if direction == SOUTH and row < self.height - 1:
+            return (router + self.width, self.direction_port(NORTH))
+        if direction == EAST and col < self.width - 1:
+            return (router + 1, self.direction_port(WEST))
+        if direction == WEST and col > 0:
+            return (router - 1, self.direction_port(EAST))
+        return None
+
+    def bisection_channels(self) -> List[Channel]:
+        cut = self.width // 2
+        result = []
+        for row in range(self.height):
+            src = self.router_at(row, cut - 1)
+            result.append(
+                (src, self.direction_port(EAST), src + 1, self.direction_port(WEST))
+            )
+        return result
+
+
+class Torus(Mesh):
+    """N x N 2-D torus: a mesh plus wrap-around links (edge-symmetric)."""
+
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port == self.LOCAL:
+            return None
+        row, col = self.coords(router)
+        direction = port - 1
+        if direction == NORTH:
+            other = self.router_at((row - 1) % self.height, col)
+            return (other, self.direction_port(SOUTH))
+        if direction == SOUTH:
+            other = self.router_at((row + 1) % self.height, col)
+            return (other, self.direction_port(NORTH))
+        if direction == EAST:
+            other = self.router_at(row, (col + 1) % self.width)
+            return (other, self.direction_port(WEST))
+        if direction == WEST:
+            other = self.router_at(row, (col - 1) % self.width)
+            return (other, self.direction_port(EAST))
+        return None
+
+    def bisection_channels(self) -> List[Channel]:
+        # A torus bisection cuts both the direct and the wrap links: two
+        # left-to-right channels per row.
+        cut = self.width // 2
+        result = []
+        for row in range(self.height):
+            src = self.router_at(row, cut - 1)
+            dst = self.router_at(row, cut)
+            result.append(
+                (src, self.direction_port(EAST), dst, self.direction_port(WEST))
+            )
+            wrap_src = self.router_at(row, self.width - 1)
+            wrap_dst = self.router_at(row, 0)
+            result.append(
+                (
+                    wrap_src,
+                    self.direction_port(EAST),
+                    wrap_dst,
+                    self.direction_port(WEST),
+                )
+            )
+        return result
+
+
+class ConcentratedMesh(Topology):
+    """k x k mesh of routers, each concentrating ``concentration`` nodes.
+
+    The paper's Figure 2(a) uses a 4x4 concentrated mesh with concentration
+    degree 4 (64 nodes on 16 routers).  Ports 0..c-1 are local; ports
+    c..c+3 are north/east/south/west.
+    """
+
+    def __init__(self, width: int, concentration: int = 4) -> None:
+        if width < 2:
+            raise ValueError(f"cmesh width must be >= 2, got {width}")
+        if concentration < 1:
+            raise ValueError(
+                f"concentration must be >= 1, got {concentration}"
+            )
+        self.width = width
+        self.height = width
+        self.concentration = concentration
+        self.num_routers = width * width
+        self.num_nodes = self.num_routers * concentration
+
+    def coords(self, router: int) -> Tuple[int, int]:
+        return divmod(router, self.width)
+
+    def router_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise ValueError(f"({row}, {col}) outside cmesh")
+        return row * self.width + col
+
+    def num_ports(self, router: int) -> int:
+        return self.concentration + 4
+
+    def num_local_ports(self, router: int) -> int:
+        return self.concentration
+
+    def router_of_node(self, node: int) -> int:
+        return node // self.concentration
+
+    def local_port_of_node(self, node: int) -> int:
+        return node % self.concentration
+
+    def node_at(self, router: int, local_port: int) -> int:
+        if local_port >= self.concentration:
+            raise ValueError(f"port {local_port} is not a local port")
+        return router * self.concentration + local_port
+
+    def direction_port(self, direction: int) -> int:
+        return self.concentration + direction
+
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port < self.concentration:
+            return None
+        row, col = self.coords(router)
+        direction = port - self.concentration
+        if direction == NORTH and row > 0:
+            return (router - self.width, self.direction_port(SOUTH))
+        if direction == SOUTH and row < self.height - 1:
+            return (router + self.width, self.direction_port(NORTH))
+        if direction == EAST and col < self.width - 1:
+            return (router + 1, self.direction_port(WEST))
+        if direction == WEST and col > 0:
+            return (router - 1, self.direction_port(EAST))
+        return None
+
+    def bisection_channels(self) -> List[Channel]:
+        cut = self.width // 2
+        result = []
+        for row in range(self.height):
+            src = self.router_at(row, cut - 1)
+            result.append(
+                (src, self.direction_port(EAST), src + 1, self.direction_port(WEST))
+            )
+        return result
+
+
+class FlattenedButterfly(Topology):
+    """k x k flattened butterfly with concentration (Kim, Dally & Abts).
+
+    Every router connects directly to every other router in its row and in
+    its column.  The paper's Figure 2(b) instance is k=4 with concentration
+    4: 64 nodes, 16 routers, 10 ports per router (4 local + 3 row + 3 col).
+
+    Port layout per router: ``0..c-1`` local; ``c..c+k-2`` row links in
+    increasing destination-column order (skipping self); ``c+k-1..c+2k-3``
+    column links in increasing destination-row order (skipping self).
+    """
+
+    def __init__(self, width: int = 4, concentration: int = 4) -> None:
+        if width < 2:
+            raise ValueError(f"fbfly width must be >= 2, got {width}")
+        self.width = width
+        self.height = width
+        self.concentration = concentration
+        self.num_routers = width * width
+        self.num_nodes = self.num_routers * concentration
+        self._row_ports = width - 1
+        self._col_ports = width - 1
+
+    def coords(self, router: int) -> Tuple[int, int]:
+        return divmod(router, self.width)
+
+    def router_at(self, row: int, col: int) -> int:
+        return row * self.width + col
+
+    def num_ports(self, router: int) -> int:
+        return self.concentration + self._row_ports + self._col_ports
+
+    def num_local_ports(self, router: int) -> int:
+        return self.concentration
+
+    def router_of_node(self, node: int) -> int:
+        return node // self.concentration
+
+    def local_port_of_node(self, node: int) -> int:
+        return node % self.concentration
+
+    def node_at(self, router: int, local_port: int) -> int:
+        if local_port >= self.concentration:
+            raise ValueError(f"port {local_port} is not a local port")
+        return router * self.concentration + local_port
+
+    def row_port_to(self, router: int, dst_col: int) -> int:
+        """Port on ``router`` whose row link reaches column ``dst_col``."""
+        _, col = self.coords(router)
+        if dst_col == col:
+            raise ValueError("no row link to own column")
+        offset = dst_col if dst_col < col else dst_col - 1
+        return self.concentration + offset
+
+    def col_port_to(self, router: int, dst_row: int) -> int:
+        """Port on ``router`` whose column link reaches row ``dst_row``."""
+        row, _ = self.coords(router)
+        if dst_row == row:
+            raise ValueError("no column link to own row")
+        offset = dst_row if dst_row < row else dst_row - 1
+        return self.concentration + self._row_ports + offset
+
+    def neighbor(self, router: int, port: int) -> Optional[Tuple[int, int]]:
+        if port < self.concentration:
+            return None
+        row, col = self.coords(router)
+        offset = port - self.concentration
+        if offset < self._row_ports:
+            dst_col = offset if offset < col else offset + 1
+            other = self.router_at(row, dst_col)
+            return (other, self.row_port_to(other, col))
+        offset -= self._row_ports
+        dst_row = offset if offset < row else offset + 1
+        other = self.router_at(dst_row, col)
+        return (other, self.col_port_to(other, row))
+
+    def bisection_channels(self) -> List[Channel]:
+        cut = self.width // 2
+        result = []
+        for row in range(self.height):
+            for src_col in range(cut):
+                for dst_col in range(cut, self.width):
+                    src = self.router_at(row, src_col)
+                    dst = self.router_at(row, dst_col)
+                    result.append(
+                        (
+                            src,
+                            self.row_port_to(src, dst_col),
+                            dst,
+                            self.row_port_to(dst, src_col),
+                        )
+                    )
+        return result
+
+
+def manhattan_distance(topology: Mesh, src_router: int, dst_router: int) -> int:
+    """Hop count between two routers of a mesh under X-Y routing."""
+    src_row, src_col = topology.coords(src_router)
+    dst_row, dst_col = topology.coords(dst_router)
+    return abs(src_row - dst_row) + abs(src_col - dst_col)
+
+
+def torus_distance(topology: Torus, src_router: int, dst_router: int) -> int:
+    """Hop count between two routers of a torus under shortest wrap routing."""
+    src_row, src_col = topology.coords(src_router)
+    dst_row, dst_col = topology.coords(dst_router)
+    dr = abs(src_row - dst_row)
+    dc = abs(src_col - dst_col)
+    return min(dr, topology.height - dr) + min(dc, topology.width - dc)

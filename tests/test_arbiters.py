@@ -1,0 +1,86 @@
+"""Unit tests for the arbiters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.arbiters import RoundRobinArbiter, TwoStageAllocator
+
+
+class TestRoundRobinArbiter:
+    def test_single_requester(self):
+        arbiter = RoundRobinArbiter(4)
+        assert arbiter.grant([False, True, False, False]) == 1
+
+    def test_no_request(self):
+        arbiter = RoundRobinArbiter(3)
+        assert arbiter.grant([False, False, False]) is None
+
+    def test_rotates_priority(self):
+        arbiter = RoundRobinArbiter(3)
+        requests = [True, True, True]
+        grants = [arbiter.grant(requests) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_idle_lines(self):
+        arbiter = RoundRobinArbiter(4)
+        grants = [arbiter.grant([True, False, True, False]) for _ in range(4)]
+        assert grants == [0, 2, 0, 2]
+
+    def test_fairness_under_contention(self):
+        arbiter = RoundRobinArbiter(5)
+        counts = [0] * 5
+        for _ in range(100):
+            winner = arbiter.grant([True] * 5)
+            counts[winner] += 1
+        assert counts == [20] * 5
+
+    def test_grant_from_sparse(self):
+        arbiter = RoundRobinArbiter(6)
+        assert arbiter.grant_from([3, 5]) in (3, 5)
+        assert arbiter.grant_from([]) is None
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(3).grant([True, True])
+
+    def test_rejects_zero_requesters(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        pattern=st.lists(st.booleans(), min_size=1, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_grant_is_a_requester(self, n, pattern):
+        pattern = (pattern * n)[:n]
+        arbiter = RoundRobinArbiter(n)
+        winner = arbiter.grant(pattern)
+        if any(pattern):
+            assert pattern[winner]
+        else:
+            assert winner is None
+
+
+class TestTwoStageAllocator:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            TwoStageAllocator(3, [2, 2])
+
+    def test_stage_one_picks_requesting_vc(self):
+        allocator = TwoStageAllocator(5, [3] * 5)
+        assert allocator.pick_input_vc(0, [2]) == 2
+        assert allocator.pick_input_vc(1, []) is None
+
+    def test_stage_two_picks_requesting_port(self):
+        allocator = TwoStageAllocator(5, [3] * 5)
+        winner = allocator.pick_output_winner(2, [1, 4])
+        assert winner in (1, 4)
+
+    def test_second_arbiter_independent_state(self):
+        allocator = TwoStageAllocator(5, [3] * 5)
+        first = [allocator.pick_output_winner(0, [0, 1]) for _ in range(4)]
+        second = [allocator.pick_second_winner(0, [0, 1]) for _ in range(4)]
+        # Both alternate fairly on their own rotation.
+        assert sorted(set(first)) == [0, 1]
+        assert sorted(set(second)) == [0, 1]

@@ -1,0 +1,226 @@
+"""Tests for the core timing model, memory controllers and metrics."""
+
+import pytest
+
+from repro.cmp.coherence import Message
+from repro.cmp.core_model import (
+    CoreConfig,
+    TraceCore,
+    large_core_config,
+    small_core_config,
+)
+from repro.cmp.memory import MemoryConfig, MemoryController
+from repro.cmp.metrics import (
+    harmonic_speedup,
+    ipc_improvement_pct,
+    summarize_ipc,
+    weighted_speedup,
+)
+from repro.traffic.trace import TraceRecord
+
+
+class _FakeL1:
+    """L1 stub with scripted hit/miss behaviour."""
+
+    def __init__(self, result="hit", latency=2):
+        self.result = result
+        self.latency = latency
+        self.pending = []
+        self.requests = []
+
+    def request(self, address, is_write, cycle, on_complete):
+        self.requests.append((address, is_write, cycle))
+        if self.result == "blocked":
+            return "blocked"
+        self.pending.append(on_complete)
+        if self.result == "hit":
+            return "hit"
+        return "miss"
+
+    def complete_one(self):
+        self.pending.pop(0)()
+
+
+def _trace(n, gap=2, stride=128):
+    return [
+        TraceRecord(gap=gap, is_write=False, address=i * stride) for i in range(n)
+    ]
+
+
+class TestCoreConfig:
+    def test_presets(self):
+        large = large_core_config()
+        small = small_core_config()
+        assert large.issue_width == 3 and large.window == 64
+        assert small.issue_width == 1 and small.blocking_loads
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(window=0)
+
+
+class TestTraceCore:
+    def test_gap_consumption_rate(self):
+        l1 = _FakeL1("hit")
+        core = TraceCore(0, CoreConfig(issue_width=3), _trace(5, gap=8), l1)
+        core.step(0)
+        # 3-wide: consumes 3 gap instructions in the first cycle.
+        assert core.instructions_retired == 3
+
+    def test_completes_trace(self):
+        l1 = _FakeL1("hit")
+        core = TraceCore(0, large_core_config(), _trace(10, gap=1), l1)
+        for cycle in range(100):
+            core.step(cycle)
+            while l1.pending:
+                l1.complete_one()
+        assert core.done
+        assert core.instructions_retired == 10 * 2  # gap 1 + access each
+
+    def test_outstanding_cap_stalls(self):
+        l1 = _FakeL1("miss")
+        core = TraceCore(
+            0, CoreConfig(issue_width=3, max_outstanding=2, window=1000),
+            _trace(10, gap=0), l1,
+        )
+        for cycle in range(10):
+            core.step(cycle)
+        assert core.outstanding == 2
+        assert core.stall_cycles > 0
+
+    def test_window_limits_run_ahead(self):
+        l1 = _FakeL1("miss")
+        core = TraceCore(
+            0,
+            CoreConfig(issue_width=3, max_outstanding=16, window=8),
+            _trace(10, gap=20),
+            l1,
+        )
+        for cycle in range(50):
+            core.step(cycle)
+        # One miss outstanding; retirement capped at issue mark + window.
+        assert core.instructions_retired <= core._issue_marks[0] + 8
+
+    def test_blocking_loads_stall_in_order_core(self):
+        l1 = _FakeL1("miss")
+        core = TraceCore(0, small_core_config(), _trace(4, gap=0), l1)
+        core.step(0)
+        assert core.outstanding == 1
+        core.step(1)
+        core.step(2)
+        assert core.instructions_retired == 1  # frozen until the response
+        l1.complete_one()
+        core.step(3)
+        assert core.instructions_retired == 2
+
+    def test_start_cycle_delays_execution(self):
+        l1 = _FakeL1("hit")
+        core = TraceCore(0, large_core_config(), _trace(3), l1, start_cycle=10)
+        core.step(5)
+        assert core.instructions_retired == 0
+        core.step(10)
+        assert core.instructions_retired > 0
+
+    def test_ipc(self):
+        l1 = _FakeL1("hit")
+        core = TraceCore(0, CoreConfig(issue_width=1), _trace(5, gap=0), l1)
+        for cycle in range(5):
+            core.step(cycle)
+        assert core.ipc(5) == pytest.approx(1.0)
+
+    def test_blocked_l1_retries(self):
+        l1 = _FakeL1("blocked")
+        core = TraceCore(0, large_core_config(), _trace(2, gap=0), l1)
+        core.step(0)
+        core.step(1)
+        assert core.instructions_retired == 0
+        assert len(l1.requests) == 2  # retried each cycle
+
+
+class TestMemoryController:
+    def _mc(self, latency=10, interval=2):
+        harness = []
+        mc = MemoryController(
+            0, MemoryConfig(access_latency=latency, service_interval=interval),
+            harness.append,
+        )
+        return mc, harness
+
+    def test_read_latency(self):
+        mc, sent = self._mc(latency=10)
+        mc.handle(Message("MEM_READ", 0x100, src=3, dst=0), cycle=0)
+        for cycle in range(12):
+            mc.tick(cycle)
+        assert len(sent) == 1
+        assert sent[0].mtype == "MEM_DATA" and sent[0].dst == 3
+
+    def test_not_before_latency(self):
+        mc, sent = self._mc(latency=10)
+        mc.handle(Message("MEM_READ", 0x100, src=3, dst=0), cycle=0)
+        for cycle in range(9):
+            mc.tick(cycle)
+        assert not sent
+
+    def test_service_interval_limits_rate(self):
+        mc, sent = self._mc(latency=5, interval=4)
+        for i in range(3):
+            mc.handle(Message("MEM_READ", i * 128, src=1, dst=0), cycle=0)
+        for cycle in range(30):
+            mc.tick(cycle)
+        assert len(sent) == 3
+        assert mc.reads_served == 3
+        # Starts at cycles 0, 4, 8 -> completions at 5, 9, 13.
+
+    def test_writes_posted(self):
+        mc, sent = self._mc()
+        mc.handle(Message("MEM_WRITE", 0x100, src=1, dst=0), cycle=0)
+        for cycle in range(20):
+            mc.tick(cycle)
+        assert not sent  # no reply for writes
+        assert mc.writes_served == 1
+
+    def test_rejects_other_messages(self):
+        mc, _ = self._mc()
+        with pytest.raises(ValueError):
+            mc.handle(Message("GETS", 0x100, src=1, dst=0), cycle=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(access_latency=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(service_interval=0)
+
+
+class TestMetrics:
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_harmonic_speedup(self):
+        assert harmonic_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+        # Harmonic punishes imbalance harder than weighted.
+        ws = weighted_speedup([1.0, 0.1], [1.0, 1.0])
+        hs = harmonic_speedup([1.0, 0.1], [1.0, 1.0])
+        assert hs < ws / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            harmonic_speedup([], [])
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+    def test_ipc_improvement(self):
+        assert ipc_improvement_pct(1.12, 1.0) == pytest.approx(12.0)
+        with pytest.raises(ValueError):
+            ipc_improvement_pct(1.0, 0.0)
+
+    def test_summarize(self):
+        summary = summarize_ipc({0: 1.0, 1: 3.0})
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        with pytest.raises(ValueError):
+            summarize_ipc({})

@@ -1,0 +1,99 @@
+"""Tests for the placement design-space exploration (footnote 4)."""
+
+from repro.core.design_space import (
+    PlacementExplorer,
+    router_traversal_counts,
+    xy_path_routers,
+)
+from repro.core.layouts import diagonal_positions
+from repro.noc.topology import Mesh
+
+
+class TestXYPaths:
+    def test_straight_line(self):
+        mesh = Mesh(4)
+        assert xy_path_routers(mesh, 0, 3) == [0, 1, 2, 3]
+
+    def test_l_shape(self):
+        mesh = Mesh(4)
+        assert xy_path_routers(mesh, 0, 13) == [0, 1, 5, 9, 13]
+
+    def test_same_router(self):
+        assert xy_path_routers(Mesh(4), 6, 6) == [6]
+
+    def test_length_is_minimal(self):
+        mesh = Mesh(8)
+        for src, dst in ((0, 63), (17, 42), (7, 56)):
+            path = xy_path_routers(mesh, src, dst)
+            sr, sc = mesh.coords(src)
+            dr, dc = mesh.coords(dst)
+            assert len(path) == abs(sr - dr) + abs(sc - dc) + 1
+
+
+class TestTraversalCounts:
+    def test_center_hotter_than_edges(self):
+        counts = router_traversal_counts(Mesh(8))
+        center = counts[3 * 8 + 3]
+        corner = counts[0]
+        assert center > 2 * corner
+
+    def test_symmetry(self):
+        counts = router_traversal_counts(Mesh(4))
+        # 180-degree rotational symmetry of the mesh + X-Y routing.
+        for rid in range(16):
+            assert counts[rid] == counts[15 - rid]
+
+
+class TestPlacementExplorer:
+    def test_footnote4_counts(self):
+        explorer = PlacementExplorer(4)
+        assert explorer.count_placements(4) == 1820
+        assert explorer.count_placements(6) == 8008
+        assert explorer.count_placements(8) == 12870
+
+    def test_score_components_bounded(self):
+        explorer = PlacementExplorer(4)
+        score = explorer.score(diagonal_positions(4))
+        assert 0 < score.load_coverage < 1
+        assert 0 < score.flow_coverage <= 1
+        assert 0 < score.spread <= 1
+
+    def test_diagonal_beats_random_corner_cluster(self):
+        explorer = PlacementExplorer(4)
+        diagonal = explorer.score(diagonal_positions(4))
+        corner_cluster = explorer.score({0, 1, 4, 5, 2, 8, 3, 12})
+        assert diagonal.score > corner_cluster.score
+
+    def test_diagonal_ranks_above_average(self):
+        """The paper's 4x4 exhaustive search (simulation-based) found
+        diagonal-style placements best.  Our fast analytic proxy is only a
+        pre-filter, but it should still place the diagonal clearly above
+        the median placement."""
+        explorer = PlacementExplorer(4)
+        rank = explorer.rank_of(diagonal_positions(4))
+        assert rank <= 0.35 * explorer.count_placements(8)
+
+    def test_named_placements_scored(self):
+        explorer = PlacementExplorer(4)
+        named = explorer.named_placements(8)
+        assert "diagonal" in named and "center" in named
+        # Diagonal spreads across all rows and columns; center does not.
+        assert named["diagonal"].spread > named["center"].spread
+
+    def test_top_placements_sorted(self):
+        explorer = PlacementExplorer(4)
+        top = explorer.top_placements(4, k=5)
+        scores = [s.score for s in top]
+        assert scores == sorted(scores, reverse=True)
+        assert len(top) == 5
+
+    def test_simulate_placements_ranks_by_latency(self):
+        explorer = PlacementExplorer(4)
+        candidates = [diagonal_positions(4), {0, 1, 2, 3, 4, 5, 6, 7}]
+        results = explorer.simulate_placements(
+            candidates, rate=0.05, measure_packets=150
+        )
+        assert len(results) == 2
+        latencies = [r["latency_cycles"] for r in results]
+        assert latencies == sorted(latencies)
+        assert all(r["throughput"] > 0 for r in results)

@@ -1,0 +1,215 @@
+"""Smoke tests for every experiment harness (tiny parameterizations).
+
+Each paper table/figure has a harness; these tests run them end to end
+with reduced inputs, verifying the structure of what they report and the
+invariant parts of their results (exact Table 1 numbers, correct layout
+orderings where cheap to check).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_utilization,
+    fig02_other_topologies,
+    fig07_ur_traffic,
+    fig08_breakdown,
+    fig09_nn_traffic,
+    fig10_torus,
+    fig13_memctrl,
+    table1_router_model,
+)
+from repro.experiments.common import (
+    format_table,
+    measurement_scale,
+    percent_change,
+    percent_reduction,
+    run_layout_synthetic,
+)
+
+
+class TestCommon:
+    def test_percent_helpers(self):
+        assert percent_change(110, 100) == pytest.approx(10.0)
+        assert percent_reduction(90, 100) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            percent_change(1, 0)
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_measurement_scale(self):
+        assert measurement_scale(True)["measure_packets"] < measurement_scale(
+            False
+        )["measure_packets"]
+
+    def test_run_layout_synthetic_keys(self):
+        sample = run_layout_synthetic(
+            "baseline", "uniform_random", 0.02,
+            warmup_packets=20, measure_packets=80,
+        )
+        assert set(sample) >= {
+            "latency_ns", "throughput", "power_w", "power_breakdown",
+            "blocking_cycles", "queuing_cycles", "transfer_cycles",
+        }
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        data = table1_router_model.run()
+        for label, paper in table1_router_model.PAPER_VALUES.items():
+            row = data["routers"][label]
+            assert row["power_w"] == pytest.approx(paper[0], rel=0.03)
+            assert row["area_mm2"] == pytest.approx(paper[1], abs=0.002)
+            assert row["frequency_ghz"] == pytest.approx(paper[2])
+        acc = data["accounting"]
+        assert acc["baseline_buffer_bits"] == 921_600
+        assert acc["hetero_buffer_bits"] == 614_400
+        assert acc["buffer_bit_reduction"] == pytest.approx(1 / 3)
+
+
+class TestFig01:
+    def test_center_hotter_than_edge(self):
+        data = fig01_utilization.run(rate=0.05, fast=True)
+        assert data["center_buffer_util"] > data["edge_buffer_util"]
+        assert data["center_link_util"] > data["edge_link_util"]
+        grid = data["buffer_utilization"]
+        assert len(grid) == 8 and len(grid[0]) == 8
+
+
+class TestFig02:
+    def test_nonuniform_in_both_topologies(self):
+        data = fig02_other_topologies.run(fast=True)
+        hi, lo = data["cmesh_max_min"]
+        assert hi > lo
+        assert len(data["fbfly_buffer_utilization"]) == 4
+
+
+class TestFig07:
+    def test_structure_and_power_ordering(self):
+        data = fig07_ur_traffic.run(
+            rates=(0.02, 0.05), layouts=("baseline", "diagonal+BL"), fast=True
+        )
+        assert set(data["curves"]) == {"baseline", "diagonal+BL"}
+        assert len(data["curves"]["baseline"]) == 2
+        summary = data["summary"]["diagonal+BL"]
+        # The robust headline: the +BL network consumes less power.
+        assert summary["power_reduction_pct"] > 0
+
+
+class TestFig08:
+    def test_breakdowns_sum(self):
+        data = fig08_breakdown.run(
+            rate=0.04, layouts=("baseline", "diagonal+BL"), fast=True
+        )
+        for layout, parts in data["latency"].items():
+            assert parts["total"] == pytest.approx(
+                parts["blocking"] + parts["queuing"] + parts["transfer"]
+            )
+        base = data["power"]["baseline"]
+        hetero = data["power"]["diagonal+BL"]
+        assert hetero["total"] < base["total"]
+        assert hetero["buffers"] < base["buffers"]
+
+
+class TestFig09:
+    def test_nn_anomaly_direction(self):
+        data = fig09_nn_traffic.run(
+            rates=(0.04, 0.08), layouts=("baseline", "diagonal+BL"), fast=True
+        )
+        # Paper's anomaly: hetero is WORSE under NN (one-hop flows cross
+        # the de-provisioned edge routers; strict flit mode).
+        summary = data["summary"]["diagonal+BL"]
+        assert summary["avg_latency_change_pct"] > 0.0
+        assert summary["throughput_change_pct"] < 2.0
+
+
+class TestFig13:
+    def test_closed_loop_orderings(self):
+        results = {}
+        for name, (placement, layout) in fig13_memctrl.CONFIGURATIONS.items():
+            results[name] = fig13_memctrl.run_closed_loop_ur(
+                placement, layout, num_requests=640, seed=3
+            )
+        # 16 distributed controllers always beat 4 corner controllers.
+        assert (
+            results["diamond_homo"].mean_latency
+            < results["corners_homo"].mean_latency
+        )
+        # The best configuration is diagonal MCs on the hetero network.
+        assert (
+            results["diagonal_hetero"].mean_latency
+            <= results["diamond_homo"].mean_latency * 1.05
+        )
+
+
+class TestFig10Runner:
+    def test_app_traffic_runner(self):
+        from repro.core.layouts import baseline_layout, build_network
+
+        network = build_network(baseline_layout(8))
+        latency = fig10_torus.run_app_traffic(
+            network, "SPECjbb", rate=0.05,
+            warmup_packets=30, measure_packets=120, seed=3,
+        )
+        assert latency > 0
+
+    def test_ur_crosscheck_shape(self):
+        ur = fig10_torus.run_uniform_random(fast=True)
+        assert ur["torus_reduction_pct"] < ur["mesh_reduction_pct"]
+
+
+class TestFig11Runner:
+    def test_run_one_structure(self):
+        from repro.experiments.fig11_applications import run_one
+
+        result = run_one("diagonal+BL", "frrt", records_per_core=100, seed=3)
+        assert result["ipc"] > 0
+        assert result["power_w"] > 0
+        assert result["net_latency_cycles"] > 0
+        assert result["cycles"] > 0
+
+
+class TestFig12Runner:
+    def test_improvements_computed(self):
+        from repro.experiments.fig12_ipc import run
+
+        data = run(
+            commercial=("SPECjbb",),
+            parsec=(),
+            layouts=("baseline", "diagonal+BL"),
+            records_per_core=100,
+            fast=True,
+            seed=3,
+        )
+        assert "diagonal+BL" in data["improvements"]
+        assert "SPECjbb" in data["improvements"]["diagonal+BL"]
+        assert data["ipc"]["SPECjbb"]["baseline"] > 0
+
+
+class TestAblationHarness:
+    def test_variants_present(self):
+        from repro.experiments.ablation_mechanisms import run
+
+        data = run(rate=0.04, fast=True)
+        assert set(data) == {
+            "baseline",
+            "diagonal+BL",
+            "diagonal+BL/no-merging",
+            "diagonal+BL/strict-flits",
+            "scattered+BL",
+        }
+        assert data["diagonal+BL/no-merging"]["merge_fraction"] == 0.0
+        assert data["diagonal+BL"]["merge_fraction"] > 0.0
+
+
+class TestSensitivityHarness:
+    def test_power_monotone_in_big_count(self):
+        from repro.experiments.sensitivity_big_routers import run
+
+        data = run(budgets=(8, 24), fast=True)
+        rows = {row["num_big"]: row for row in data["rows"]}
+        assert rows[24]["power_w"] > rows[8]["power_w"]
+        assert data["max_big_power_neutral"] == 26

@@ -1,0 +1,117 @@
+"""Cross-module integration tests: alternative topologies end to end,
+self-similar injection through the network, CMP memory-controller
+placements, and the asymmetric-CMP harness on a small mesh."""
+
+import pytest
+
+from repro.cmp.cache import CacheConfig
+from repro.cmp.system import CmpConfig, CmpSystem
+from repro.core.layouts import baseline_layout
+from repro.experiments import run_all
+from repro.noc.config import NetworkConfig, RouterConfig
+from repro.noc.network import Network
+from repro.noc.topology import ConcentratedMesh, FlattenedButterfly
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.runner import run_synthetic
+from repro.traffic.selfsimilar import SelfSimilarInjector
+from repro.traffic.workloads import WORKLOADS, generate_core_trace
+
+
+class TestAlternativeTopologiesEndToEnd:
+    def _run(self, topology, rate=0.02):
+        configs = {r: RouterConfig() for r in range(topology.num_routers)}
+        network = Network(topology, configs, NetworkConfig())
+        return run_synthetic(
+            network, UniformRandom(topology.num_nodes), rate=rate,
+            warmup_packets=30, measure_packets=200, seed=12,
+        )
+
+    def test_concentrated_mesh_delivers(self):
+        result = self._run(ConcentratedMesh(4, concentration=4))
+        assert result.measured_packets == 200
+        assert not result.saturated
+
+    def test_flattened_butterfly_delivers_with_low_hop_count(self):
+        result = self._run(FlattenedButterfly(4, concentration=4))
+        assert result.measured_packets == 200
+        # Minimal fbfly routing: at most 2 network hops per packet.
+        assert result.stats.avg_hops <= 2.0
+
+    def test_fbfly_beats_cmesh_latency(self):
+        """Richer connectivity -> lower zero-ish-load latency."""
+        cmesh = self._run(ConcentratedMesh(4, concentration=4))
+        fbfly = self._run(FlattenedButterfly(4, concentration=4))
+        assert fbfly.stats.avg_latency_cycles < cmesh.stats.avg_latency_cycles
+
+
+class TestSelfSimilarEndToEnd:
+    def test_network_survives_bursts(self):
+        from repro.noc.topology import Mesh
+
+        network = Network(
+            Mesh(8), {r: RouterConfig() for r in range(64)}, NetworkConfig()
+        )
+        injector = SelfSimilarInjector(num_nodes=64, rate=0.02, seed=4)
+        result = run_synthetic(
+            network, UniformRandom(64), rate=0.02,
+            warmup_packets=50, measure_packets=300, seed=4, injector=injector,
+        )
+        assert result.measured_packets == 300
+        # Bursty arrivals push the latency tail beyond the Bernoulli case.
+        assert result.stats.latency_percentile(0.95) >= result.stats.avg_latency_cycles
+
+
+class TestCmpMemoryPlacements:
+    def _system(self, placement):
+        config = CmpConfig(
+            l1=CacheConfig(size_bytes=4 * 1024, associativity=2),
+            l2_bank=CacheConfig(size_bytes=32 * 1024, associativity=8, latency=6),
+            mc_placement=placement,
+            start_stagger_window=32,
+        )
+        profile = WORKLOADS["SAP"]
+        traces = {
+            core: generate_core_trace(profile, core, 60, seed=6)
+            for core in range(64)
+        }
+        return CmpSystem(baseline_layout(8), traces, config=config)
+
+    @pytest.mark.parametrize("placement", ["corners", "diamond", "diagonal"])
+    def test_all_placements_complete(self, placement):
+        system = self._system(placement)
+        system.warm_caches()
+        system.run(max_cycles=400_000)
+        assert all(core.done for core in system.cores.values())
+        assert sum(mc.reads_served for mc in system.mcs.values()) > 0
+
+    def test_distributed_controllers_reduce_memory_latency(self):
+        results = {}
+        for placement in ("corners", "diamond"):
+            system = self._system(placement)
+            system.warm_caches()
+            system.run(max_cycles=400_000)
+            results[placement] = system.miss_latency_stats(via_memory_only=True)
+        assert results["diamond"]["mean"] < results["corners"]["mean"]
+
+
+class TestAsymmetricHarnessSmall:
+    def test_fig14_on_4x4(self):
+        from repro.experiments.fig14_asymmetric import run
+
+        data = run(records_large=60, records_small=40, fast=False, mesh_size=4)
+        assert set(data["results"]) == {
+            "HomoNoC-XY", "HeteroNoC-XY", "HeteroNoC-Table+XY",
+        }
+        for r in data["results"].values():
+            assert r["weighted_speedup"] > 0
+            assert r["harmonic_speedup"] > 0
+
+
+class TestRunAllCli:
+    def test_dispatch_unknown(self):
+        assert run_all.main(["not-an-experiment"]) == 2
+
+    def test_dispatch_single(self, capsys):
+        assert run_all.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

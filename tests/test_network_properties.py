@@ -1,0 +1,149 @@
+"""Property-based tests of whole-network invariants.
+
+These exercise the simulator with randomized traffic and check the
+system-level invariants from DESIGN.md: every packet is delivered, hops
+match the deterministic route, the latency decomposition is exact, and
+the network quiesces with all credits restored.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.layouts import layout_by_name
+from repro.noc.config import NetworkConfig, RouterConfig
+from repro.noc.network import Network
+from repro.noc.topology import Mesh, Torus, manhattan_distance, torus_distance
+
+
+def _random_traffic(network, rng, n_packets, max_flits=8):
+    packets = []
+    nodes = network.topology.num_nodes
+    for _ in range(n_packets):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        packet = network.make_packet(src, dst)
+        packet.num_flits = rng.randint(1, max_flits)
+        packet.measured = True
+        packets.append(packet)
+    return packets
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    size=st.integers(min_value=2, max_value=5),
+    vcs=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_mesh_delivery_invariants(seed, size, vcs):
+    rng = random.Random(seed)
+    topology = Mesh(size)
+    configs = {
+        r: RouterConfig(num_vcs=vcs, buffer_depth=rng.randint(2, 6))
+        for r in range(topology.num_routers)
+    }
+    network = Network(topology, configs, NetworkConfig())
+    network.begin_measurement()
+    packets = _random_traffic(network, rng, n_packets=25)
+    for packet in packets:
+        network.enqueue(packet)
+        if rng.random() < 0.5:
+            network.step()
+    network.drain(max_cycles=50_000)
+    network.end_measurement()
+
+    # 1. Every packet delivered, exactly once.
+    assert len(network.stats.records) == len(packets)
+    assert all(p.received_at is not None for p in packets)
+
+    # 2. Hops equal the deterministic X-Y distance.
+    for packet in packets:
+        assert packet.hops == manhattan_distance(topology, packet.src, packet.dst)
+
+    # 3. Latency decomposition is exact and non-negative.
+    for record in network.stats.records:
+        assert record.total == record.queuing + record.transfer + record.blocking
+        assert record.queuing >= 0 and record.blocking >= 0
+
+    # 4. Full quiescence: buffers empty, credits restored, VCs released.
+    for router in network.routers:
+        assert router.occupied_flits == 0
+        for port in range(router.num_ports):
+            assert all(
+                c == router._credit_ceiling[port]
+                for c in router.out_credits[port]
+            )
+            assert all(owner is None for owner in router.out_vc_owner[port])
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_torus_delivery_and_deadlock_freedom(seed):
+    rng = random.Random(seed)
+    topology = Torus(4)
+    configs = {r: RouterConfig(num_vcs=4) for r in range(topology.num_routers)}
+    network = Network(topology, configs, NetworkConfig())
+    packets = _random_traffic(network, rng, n_packets=30)
+    for packet in packets:
+        network.enqueue(packet)
+    # Deadlock would trip the drain deadline.
+    network.drain(max_cycles=50_000)
+    for packet in packets:
+        assert packet.hops == torus_distance(topology, packet.src, packet.dst)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    layout_name=st.sampled_from(["diagonal+BL", "center+BL", "row2_5+B"]),
+)
+@settings(max_examples=8, deadline=None)
+def test_hetero_layout_delivery(seed, layout_name):
+    """Heterogeneous meshes (mixed VC counts, wide links, merging) keep
+    the same delivery and quiescence guarantees."""
+    from repro.core.layouts import build_network
+
+    rng = random.Random(seed)
+    layout = layout_by_name(layout_name)
+    network = build_network(layout)
+    packets = _random_traffic(network, rng, n_packets=40)
+    for packet in packets:
+        network.enqueue(packet)
+        network.step()
+    network.drain(max_cycles=50_000)
+    assert all(p.received_at is not None for p in packets)
+    for router in network.routers:
+        assert router.occupied_flits == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_table_routing_deadlock_freedom(seed):
+    """Table-routed staircase paths with escape VCs always drain."""
+    from repro.core.layouts import build_network, diagonal_positions
+    from repro.noc.routing import TableRouting
+
+    rng = random.Random(seed)
+    layout = layout_by_name("diagonal+BL")
+    mesh = Mesh(8)
+    routing = TableRouting(
+        mesh,
+        big_routers=diagonal_positions(8),
+        table_nodes={0, 7, 56, 63},
+        escape_vc=0,
+    )
+    network = build_network(layout, topology=mesh, routing=routing)
+    corners = [0, 7, 56, 63]
+    packets = []
+    for _ in range(30):
+        if rng.random() < 0.5:
+            src = rng.choice(corners)
+            dst = rng.randrange(64)
+        else:
+            src = rng.randrange(64)
+            dst = rng.choice(corners)
+        packet = network.make_packet(src, dst)
+        packet.num_flits = rng.randint(1, 6)
+        packets.append(packet)
+        network.enqueue(packet)
+    network.drain(max_cycles=50_000)
+    assert all(p.received_at is not None for p in packets)

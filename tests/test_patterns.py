@@ -1,0 +1,194 @@
+"""Tests for synthetic traffic patterns and injectors."""
+
+import random
+
+import pytest
+
+from repro.noc.topology import Mesh
+from repro.traffic.patterns import (
+    BitComplement,
+    BitReverse,
+    NearestNeighbor,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    pattern_by_name,
+)
+from repro.traffic.selfsimilar import (
+    BernoulliInjector,
+    ParetoOnOffSource,
+    SelfSimilarInjector,
+)
+
+
+class TestUniformRandom:
+    def test_never_self(self):
+        pattern = UniformRandom(64)
+        rng = random.Random(1)
+        for _ in range(500):
+            src = rng.randrange(64)
+            assert pattern.destination(src, rng) != src
+
+    def test_covers_all_destinations(self):
+        pattern = UniformRandom(16)
+        rng = random.Random(2)
+        seen = {pattern.destination(0, rng) for _ in range(600)}
+        assert seen == set(range(1, 16))
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            UniformRandom(8).destination(8, random.Random())
+
+
+class TestNearestNeighbor:
+    def test_destinations_adjacent(self):
+        mesh = Mesh(8)
+        pattern = NearestNeighbor(mesh)
+        rng = random.Random(3)
+        for src in range(64):
+            dst = pattern.destination(src, rng)
+            sr, sc = mesh.coords(src)
+            dr, dc = mesh.coords(dst)
+            assert abs(sr - dr) + abs(sc - dc) == 1
+
+    def test_corner_has_two_neighbors(self):
+        mesh = Mesh(4)
+        pattern = NearestNeighbor(mesh)
+        rng = random.Random(4)
+        dsts = {pattern.destination(0, rng) for _ in range(100)}
+        assert dsts == {1, 4}
+
+    def test_requires_mesh(self):
+        with pytest.raises(TypeError):
+            NearestNeighbor(object())
+
+
+class TestTranspose:
+    def test_swaps_coordinates(self):
+        pattern = Transpose(64)
+        rng = random.Random(0)
+        assert pattern.destination(1, rng) == 8  # (0,1) -> (1,0)
+        assert pattern.destination(23, rng) == 58  # (2,7) -> (7,2)
+
+    def test_diagonal_nodes_redirected(self):
+        pattern = Transpose(64)
+        rng = random.Random(0)
+        for diagonal in (0, 9, 63):
+            assert pattern.destination(diagonal, rng) != diagonal
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            Transpose(10)
+
+
+class TestBitComplement:
+    def test_complements(self):
+        pattern = BitComplement(64)
+        rng = random.Random(0)
+        assert pattern.destination(0, rng) == 63
+        assert pattern.destination(21, rng) == 42
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitComplement(48)
+
+    def test_is_an_involution(self):
+        pattern = BitComplement(64)
+        rng = random.Random(0)
+        for src in range(64):
+            assert pattern.destination(pattern.destination(src, rng), rng) == src
+
+
+class TestBitReverse:
+    def test_reverses_bits(self):
+        pattern = BitReverse(64)
+        rng = random.Random(0)
+        assert pattern.destination(1, rng) == 32
+        assert pattern.destination(3, rng) == 48
+
+    def test_palindromes_redirected(self):
+        pattern = BitReverse(64)
+        rng = random.Random(0)
+        for src in range(64):
+            assert pattern.destination(src, rng) != src
+
+
+class TestTornado:
+    def test_half_row_shift(self):
+        pattern = Tornado(64)
+        rng = random.Random(0)
+        assert pattern.destination(0, rng) == 3
+        assert pattern.destination(7, rng) == 2  # wraps in the row
+
+    def test_never_self(self):
+        pattern = Tornado(64)
+        rng = random.Random(0)
+        for src in range(64):
+            assert pattern.destination(src, rng) != src
+
+
+class TestPatternFactory:
+    def test_by_name(self):
+        mesh = Mesh(8)
+        for name in (
+            "uniform_random",
+            "nearest_neighbor",
+            "transpose",
+            "bit_complement",
+            "bit_reverse",
+            "tornado",
+        ):
+            pattern = pattern_by_name(name, mesh)
+            dst = pattern.destination(5, random.Random(1))
+            assert 0 <= dst < 64
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            pattern_by_name("zipfian", Mesh(4))
+
+
+class TestInjectors:
+    def test_bernoulli_rate(self):
+        injector = BernoulliInjector(0.25)
+        rng = random.Random(5)
+        fires = sum(injector.fires(0, rng) for _ in range(8000))
+        assert fires == pytest.approx(2000, rel=0.1)
+
+    def test_bernoulli_validates(self):
+        with pytest.raises(ValueError):
+            BernoulliInjector(1.5)
+
+    def test_pareto_source_validates(self):
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(rate=0.0)
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(rate=0.1, alpha_on=2.5)
+
+    def test_self_similar_long_run_rate(self):
+        injector = SelfSimilarInjector(num_nodes=4, rate=0.1, seed=9)
+        rng = random.Random(0)
+        fires = sum(
+            injector.fires(node, rng)
+            for _ in range(20_000)
+            for node in range(4)
+        )
+        rate = fires / (20_000 * 4)
+        assert rate == pytest.approx(0.1, rel=0.35)
+
+    def test_self_similar_is_bursty(self):
+        """ON/OFF sources produce burstier arrivals than Bernoulli."""
+        injector = SelfSimilarInjector(num_nodes=1, rate=0.1, seed=3)
+        rng = random.Random(0)
+        window = 50
+        counts = []
+        total = 0
+        for i in range(20_000):
+            total += injector.fires(0, rng)
+            if (i + 1) % window == 0:
+                counts.append(total)
+                total = 0
+        mean = sum(counts) / len(counts)
+        var = sum((c - mean) ** 2 for c in counts) / len(counts)
+        # Bernoulli window counts would have variance ~= mean (Poisson-ish);
+        # self-similar traffic is overdispersed.
+        assert var > 1.5 * mean

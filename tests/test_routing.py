@@ -1,0 +1,276 @@
+"""Unit and property tests for routing disciplines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.flit import Packet
+from repro.noc.routing import (
+    FlattenedButterflyRouting,
+    RoutingError,
+    TableRouting,
+    TorusXYRouting,
+    XYRouting,
+    max_big_router_path,
+    minimal_routing_for,
+)
+from repro.noc.topology import (
+    ConcentratedMesh,
+    FlattenedButterfly,
+    Mesh,
+    Torus,
+)
+from repro.core.layouts import diagonal_positions
+
+
+def _walk(topology, routing, packet, max_hops=64):
+    """Follow routing decisions until ejection; return router path."""
+    router = topology.router_of_node(packet.src)
+    path = [router]
+    for _ in range(max_hops):
+        port = routing.output_port(router, packet)
+        if topology.is_local_port(router, port):
+            assert topology.node_at(router, port) == packet.dst
+            return path
+        neighbor = topology.neighbor(router, port)
+        assert neighbor is not None, "routed off the edge of the network"
+        router = neighbor[0]
+        path.append(router)
+    raise AssertionError("packet did not reach its destination")
+
+
+class TestXYRouting:
+    def test_reaches_destination_minimally(self):
+        mesh = Mesh(8)
+        routing = XYRouting(mesh)
+        packet = Packet(src=0, dst=63, num_flits=1, created_at=0)
+        path = _walk(mesh, routing, packet)
+        assert len(path) - 1 == 14  # manhattan distance
+
+    def test_x_before_y(self):
+        mesh = Mesh(8)
+        routing = XYRouting(mesh)
+        packet = Packet(src=0, dst=58, num_flits=1, created_at=0)  # (7, 2)
+        path = _walk(mesh, routing, packet)
+        rows = [mesh.coords(r)[0] for r in path]
+        cols = [mesh.coords(r)[1] for r in path]
+        # Column settles to its final value before the row starts moving.
+        first_row_move = next(i for i, r in enumerate(rows) if r != rows[0])
+        assert all(c == cols[-1] for c in cols[first_row_move:])
+
+    def test_ejection_at_destination_router(self):
+        mesh = Mesh(4)
+        routing = XYRouting(mesh)
+        packet = Packet(src=5, dst=5, num_flits=1, created_at=0)
+        assert routing.output_port(5, packet) == mesh.LOCAL
+
+    def test_rejects_torus(self):
+        with pytest.raises(TypeError):
+            XYRouting(Torus(4))
+
+    def test_works_on_cmesh(self):
+        cmesh = ConcentratedMesh(4, concentration=4)
+        routing = XYRouting(cmesh)
+        packet = Packet(src=0, dst=63, num_flits=1, created_at=0)
+        path = _walk(cmesh, routing, packet)
+        assert path[-1] == cmesh.router_of_node(63)
+
+    @given(
+        src=st.integers(min_value=0, max_value=63),
+        dst=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_minimal(self, src, dst):
+        if src == dst:
+            return
+        mesh = Mesh(8)
+        routing = XYRouting(mesh)
+        packet = Packet(src=src, dst=dst, num_flits=1, created_at=0)
+        path = _walk(mesh, routing, packet)
+        sr, sc = mesh.coords(src)
+        dr, dc = mesh.coords(dst)
+        assert len(path) - 1 == abs(sr - dr) + abs(sc - dc)
+
+
+class TestTorusXYRouting:
+    def test_takes_shortest_way_around(self):
+        torus = Torus(8)
+        routing = TorusXYRouting(torus)
+        packet = Packet(src=0, dst=7, num_flits=1, created_at=0)
+        path = _walk(torus, routing, packet)
+        assert len(path) - 1 == 1  # wraps west
+
+    def test_dateline_class_changes_on_wrap(self):
+        torus = Torus(8)
+        routing = TorusXYRouting(torus)
+        packet = Packet(src=0, dst=6, num_flits=1, created_at=0)
+        assert packet.vc_class == 0
+        _walk(torus, routing, packet)
+        # 0 -> 7 -> 6 heading west; the 0 -> 7 hop is the wrap.
+        assert packet.vc_class == 1
+
+    def test_class_resets_on_dimension_turn(self):
+        torus = Torus(8)
+        routing = TorusXYRouting(torus)
+        # Wraps in X (0 -> 7...), then turns into Y without wrapping.
+        packet = Packet(src=0, dst=14, num_flits=1, created_at=0)  # (1, 6)
+        _walk(torus, routing, packet)
+        assert packet.vc_class == 0
+
+    def test_allowed_vcs_split(self):
+        torus = Torus(4)
+        routing = TorusXYRouting(torus)
+        packet = Packet(src=0, dst=2, num_flits=1, created_at=0)
+        packet.vc_class = 0
+        # Class 0 (pre-dateline, the common case) gets the larger share.
+        assert list(routing.allowed_vcs(0, 2, packet, 4)) == [0, 1, 2]
+        packet.vc_class = 1
+        assert list(routing.allowed_vcs(0, 2, packet, 4)) == [3]
+        packet.vc_class = 0
+        assert list(routing.allowed_vcs(0, 2, packet, 3)) == [0, 1]
+        packet.vc_class = 1
+        assert list(routing.allowed_vcs(0, 2, packet, 3)) == [2]
+
+    def test_needs_two_vcs(self):
+        torus = Torus(4)
+        routing = TorusXYRouting(torus)
+        packet = Packet(src=0, dst=2, num_flits=1, created_at=0)
+        with pytest.raises(RoutingError):
+            routing.allowed_vcs(0, 2, packet, 1)
+
+    @given(
+        src=st.integers(min_value=0, max_value=63),
+        dst=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_reaches(self, src, dst):
+        if src == dst:
+            return
+        torus = Torus(8)
+        routing = TorusXYRouting(torus)
+        packet = Packet(src=src, dst=dst, num_flits=1, created_at=0)
+        path = _walk(torus, routing, packet)
+        from repro.noc.topology import torus_distance
+
+        assert len(path) - 1 == torus_distance(torus, src, dst)
+
+
+class TestFlattenedButterflyRouting:
+    def test_at_most_two_hops(self):
+        fbfly = FlattenedButterfly(4, concentration=4)
+        routing = FlattenedButterflyRouting(fbfly)
+        for src in range(0, 64, 7):
+            for dst in range(0, 64, 5):
+                if fbfly.router_of_node(src) == fbfly.router_of_node(dst):
+                    continue
+                packet = Packet(src=src, dst=dst, num_flits=1, created_at=0)
+                path = _walk(fbfly, routing, packet)
+                assert len(path) - 1 <= 2
+
+
+class TestMinimalRoutingFactory:
+    def test_dispatch(self):
+        assert isinstance(minimal_routing_for(Mesh(4)), XYRouting)
+        assert isinstance(minimal_routing_for(Torus(4)), TorusXYRouting)
+        assert isinstance(
+            minimal_routing_for(FlattenedButterfly(4)), FlattenedButterflyRouting
+        )
+        assert isinstance(minimal_routing_for(ConcentratedMesh(4)), XYRouting)
+
+
+class TestMaxBigRouterPath:
+    def test_path_is_minimal_and_monotone(self):
+        mesh = Mesh(8)
+        big = diagonal_positions(8)
+        path = max_big_router_path(mesh, 0, 63, big)
+        assert path[0] == 0 and path[-1] == 63
+        assert len(path) - 1 == 14
+        # Monotone: every hop moves toward the destination.
+        for a, b in zip(path, path[1:]):
+            ar, ac = mesh.coords(a)
+            br, bc = mesh.coords(b)
+            assert (br - ar, bc - ac) in ((1, 0), (0, 1))
+
+    def test_visits_at_least_as_many_big_as_xy(self):
+        mesh = Mesh(8)
+        big = diagonal_positions(8)
+        from repro.core.design_space import xy_path_routers
+
+        for src, dst in ((0, 62), (8, 55), (16, 31), (1, 62)):
+            staircase = max_big_router_path(mesh, src, dst, big)
+            xy = xy_path_routers(mesh, src, dst)
+            assert sum(1 for r in staircase if r in big) >= sum(
+                1 for r in xy if r in big
+            )
+
+    def test_degenerate_same_row(self):
+        mesh = Mesh(8)
+        path = max_big_router_path(mesh, 0, 7, set())
+        assert path == list(range(8))
+
+
+class TestTableRouting:
+    def _routing(self):
+        mesh = Mesh(8)
+        return mesh, TableRouting(
+            mesh,
+            big_routers=diagonal_positions(8),
+            table_nodes={0, 7, 56, 63},
+            escape_vc=0,
+        )
+
+    def test_tabled_packet_reaches_destination(self):
+        mesh, routing = self._routing()
+        packet = Packet(src=0, dst=34, num_flits=1, created_at=0)
+        path = _walk(mesh, routing, packet)
+        assert path[-1] == 34
+
+    def test_untabled_packet_uses_xy(self):
+        mesh, routing = self._routing()
+        packet = Packet(src=10, dst=34, num_flits=1, created_at=0)
+        xy_packet = Packet(src=10, dst=34, num_flits=1, created_at=0)
+        assert _walk(mesh, routing, packet) == _walk(
+            mesh, XYRouting(mesh), xy_packet
+        )
+
+    def test_tabled_path_maximizes_big_routers(self):
+        mesh, routing = self._routing()
+        big = diagonal_positions(8)
+        path = routing.path_routers(0, 62)
+        from repro.core.design_space import xy_path_routers
+
+        xy = xy_path_routers(mesh, 0, 62)
+        assert sum(r in big for r in path) >= sum(r in big for r in xy)
+
+    def test_escaped_packet_restricted_to_escape_vc(self):
+        mesh, routing = self._routing()
+        packet = Packet(src=0, dst=34, num_flits=1, created_at=0)
+        packet.on_escape = True
+        candidates = routing.va_candidates(8, packet, 2, [3] * 5)
+        assert all(vc == 0 for _port, vc, _esc in candidates)
+
+    def test_escape_candidate_is_last_and_xy_directed(self):
+        mesh, routing = self._routing()
+        packet = Packet(src=0, dst=63, num_flits=1, created_at=0)
+        route_port = routing.output_port(0, packet)
+        candidates = list(
+            routing.va_candidates(0, packet, route_port, [3] * 5)
+        )
+        *normal, escape = candidates
+        assert all(not esc for _p, _v, esc in normal)
+        assert all(vc != 0 for _p, vc, _e in normal)
+        port, vc, escaped = escape
+        assert escaped and vc == 0
+        xy = XYRouting(mesh)
+        assert port == xy.output_port(
+            0, Packet(src=0, dst=63, num_flits=1, created_at=0)
+        )
+
+    def test_uses_table_predicate(self):
+        _, routing = self._routing()
+        assert routing.uses_table(Packet(src=0, dst=30, num_flits=1, created_at=0))
+        assert routing.uses_table(Packet(src=30, dst=63, num_flits=1, created_at=0))
+        assert not routing.uses_table(Packet(src=30, dst=31, num_flits=1, created_at=0))
+
+    def test_rejects_torus(self):
+        with pytest.raises(TypeError):
+            TableRouting(Torus(8), set(), set())

@@ -1,0 +1,89 @@
+"""Tests for the synthetic-traffic experiment driver."""
+
+import pytest
+
+from repro.core.layouts import baseline_layout, build_network
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.runner import run_synthetic
+from repro.traffic.selfsimilar import SelfSimilarInjector
+
+
+def _network():
+    return build_network(baseline_layout(4))
+
+
+class TestRunSynthetic:
+    def test_measures_requested_packets(self):
+        network = _network()
+        result = run_synthetic(
+            network, UniformRandom(16), rate=0.05,
+            warmup_packets=20, measure_packets=100, seed=1,
+        )
+        assert result.measured_packets == 100
+        assert len(result.stats.records) == 100
+        assert not result.saturated
+
+    def test_reproducible(self):
+        latencies = []
+        for _ in range(2):
+            network = _network()
+            result = run_synthetic(
+                network, UniformRandom(16), rate=0.05,
+                warmup_packets=20, measure_packets=80, seed=7,
+            )
+            latencies.append(result.avg_latency_cycles)
+        assert latencies[0] == latencies[1]
+
+    def test_latency_rises_with_load(self):
+        results = []
+        for rate in (0.02, 0.12):
+            network = _network()
+            results.append(
+                run_synthetic(
+                    network, UniformRandom(16), rate=rate,
+                    warmup_packets=30, measure_packets=150, seed=2,
+                )
+            )
+        assert results[1].avg_latency_cycles > results[0].avg_latency_cycles
+
+    def test_throughput_tracks_offered_load_below_saturation(self):
+        network = _network()
+        result = run_synthetic(
+            network, UniformRandom(16), rate=0.04,
+            warmup_packets=30, measure_packets=200, seed=3,
+        )
+        assert result.throughput_packets_per_node_cycle == pytest.approx(
+            0.04, rel=0.25
+        )
+
+    def test_saturation_flag(self):
+        network = _network()
+        result = run_synthetic(
+            network, UniformRandom(16), rate=0.5,
+            warmup_packets=20, measure_packets=300, seed=3,
+            drain_cycle_cap=150,
+        )
+        assert result.saturated
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            run_synthetic(_network(), UniformRandom(16), rate=0.0)
+
+    def test_custom_injector(self):
+        network = _network()
+        injector = SelfSimilarInjector(num_nodes=16, rate=0.05, seed=1)
+        result = run_synthetic(
+            network, UniformRandom(16), rate=0.05,
+            warmup_packets=20, measure_packets=80, seed=1, injector=injector,
+        )
+        assert result.measured_packets == 80
+
+    def test_latency_ns_uses_frequency(self):
+        network = _network()
+        result = run_synthetic(
+            network, UniformRandom(16), rate=0.03,
+            warmup_packets=20, measure_packets=60, seed=1,
+        )
+        assert result.avg_latency_ns(2.0) == pytest.approx(
+            result.avg_latency_cycles / 2.0
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for statistics collection."""
+
+import pytest
+
+from repro.noc.stats import LatencyRecord, NetworkStats, RouterActivity
+
+
+def _record(packet_id=0, total=20, queuing=2, transfer=15, **kwargs):
+    blocking = total - queuing - transfer
+    return LatencyRecord(
+        packet_id=packet_id,
+        src=0,
+        dst=5,
+        num_flits=6,
+        hops=4,
+        total=total,
+        queuing=queuing,
+        transfer=transfer,
+        blocking=blocking,
+        **kwargs,
+    )
+
+
+class TestLatencyRecord:
+    def test_components_must_sum(self):
+        with pytest.raises(ValueError):
+            LatencyRecord(
+                packet_id=0, src=0, dst=1, num_flits=1, hops=1,
+                total=10, queuing=1, transfer=5, blocking=5,
+            )
+
+    def test_valid_record(self):
+        record = _record()
+        assert record.blocking == 3
+
+
+class TestRouterActivity:
+    def test_snapshot_and_delta(self):
+        activity = RouterActivity(buffer_capacity_flits=75)
+        activity.buffer_writes = 10
+        activity.merged_flit_pairs = 2
+        snap = activity.snapshot()
+        activity.buffer_writes = 25
+        activity.merged_flit_pairs = 5
+        delta = activity.delta_since(snap)
+        assert delta.buffer_writes == 15
+        assert delta.merged_flit_pairs == 3
+        assert delta.buffer_capacity_flits == 75
+
+    def test_snapshot_is_independent(self):
+        activity = RouterActivity()
+        snap = activity.snapshot()
+        activity.buffer_reads = 7
+        assert snap.buffer_reads == 0
+
+
+class TestNetworkStats:
+    def _stats_with_records(self, totals):
+        stats = NetworkStats(num_routers=4, num_nodes=4)
+        for i, total in enumerate(totals):
+            stats.record_packet(_record(packet_id=i, total=total))
+        return stats
+
+    def test_mean_latency(self):
+        stats = self._stats_with_records([20, 30, 40])
+        assert stats.avg_latency_cycles == pytest.approx(30.0)
+
+    def test_latency_components(self):
+        stats = self._stats_with_records([20, 20])
+        assert stats.avg_queuing_cycles == pytest.approx(2.0)
+        assert stats.avg_transfer_cycles == pytest.approx(15.0)
+        assert stats.avg_blocking_cycles == pytest.approx(3.0)
+        assert stats.avg_network_latency_cycles == pytest.approx(18.0)
+
+    def test_latency_ns_scaling(self):
+        stats = self._stats_with_records([22])
+        assert stats.avg_latency_ns(2.2) == pytest.approx(10.0)
+
+    def test_empty_stats_raise(self):
+        stats = NetworkStats(4, 4)
+        with pytest.raises(ValueError):
+            _ = stats.avg_latency_cycles
+
+    def test_percentile(self):
+        stats = self._stats_with_records([10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+        assert stats.latency_percentile(0.5) == pytest.approx(50.0)
+        assert stats.latency_percentile(1.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            stats.latency_percentile(1.5)
+
+    def test_std(self):
+        stats = self._stats_with_records([20, 40])
+        assert stats.latency_std_cycles() == pytest.approx(10.0)
+
+    def test_throughput_uses_window(self):
+        stats = self._stats_with_records([20])
+        stats.measured_cycles = 100
+        stats.window_packet_deliveries = 40
+        stats.window_flit_deliveries = 240
+        assert stats.accepted_packets_per_node_per_cycle == pytest.approx(0.1)
+        assert stats.accepted_flits_per_node_per_cycle == pytest.approx(0.6)
+
+    def test_throughput_needs_window(self):
+        stats = NetworkStats(4, 4)
+        with pytest.raises(ValueError):
+            _ = stats.accepted_packets_per_node_per_cycle
+
+    def test_buffer_utilization(self):
+        stats = NetworkStats(2, 2)
+        stats.measured_cycles = 10
+        stats.router_activity[0].buffer_capacity_flits = 30
+        stats.router_activity[0].occupancy_integral = 60
+        assert stats.buffer_utilization(0) == pytest.approx(0.2)
+        assert stats.buffer_utilization(1) == 0.0
+
+    def test_link_utilization(self):
+        stats = NetworkStats(2, 2)
+        stats.measured_cycles = 20
+        stats.link_lanes[(0, 2)] = 1
+        stats.link_busy_cycles[(0, 2)] = 5
+        assert stats.link_utilization(0, 2) == pytest.approx(0.25)
+        assert stats.router_link_utilization(0, 5) == pytest.approx(0.25)
+        assert stats.router_link_utilization(1, 5) == 0.0
+
+    def test_summary_keys(self):
+        stats = self._stats_with_records([20])
+        stats.measured_cycles = 10
+        stats.window_packet_deliveries = 1
+        summary = stats.summary(2.2)
+        assert set(summary) >= {
+            "avg_latency_cycles",
+            "avg_latency_ns",
+            "throughput_packets_per_node_cycle",
+        }

@@ -1,0 +1,168 @@
+"""Unit and property tests for topologies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.topology import (
+    ConcentratedMesh,
+    FlattenedButterfly,
+    Mesh,
+    Torus,
+    manhattan_distance,
+    torus_distance,
+)
+
+
+class TestMesh:
+    def test_counts(self):
+        mesh = Mesh(8)
+        assert mesh.num_routers == 64
+        assert mesh.num_nodes == 64
+        assert mesh.num_ports(0) == 5
+        assert mesh.num_local_ports(0) == 1
+
+    def test_coords_roundtrip(self):
+        mesh = Mesh(8)
+        for rid in range(64):
+            row, col = mesh.coords(rid)
+            assert mesh.router_at(row, col) == rid
+
+    def test_router_at_bounds(self):
+        with pytest.raises(ValueError):
+            Mesh(4).router_at(4, 0)
+
+    def test_edges_have_missing_neighbors(self):
+        mesh = Mesh(4)
+        # Corner 0: no north, no west.
+        assert mesh.neighbor(0, mesh.direction_port(0)) is None  # north
+        assert mesh.neighbor(0, mesh.direction_port(3)) is None  # west
+        assert mesh.neighbor(0, mesh.direction_port(1)) == (1, mesh.direction_port(3))
+
+    def test_local_port_has_no_neighbor(self):
+        assert Mesh(4).neighbor(5, 0) is None
+
+    def test_validate_passes(self):
+        Mesh(8).validate()
+
+    def test_bisection_count(self):
+        # One east-going channel per row crosses the vertical cut.
+        assert len(Mesh(8).bisection_channels()) == 8
+
+    def test_rectangular_mesh(self):
+        mesh = Mesh(4, height=2)
+        assert mesh.num_routers == 8
+        mesh.validate()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Mesh(1)
+
+    def test_manhattan_distance(self):
+        mesh = Mesh(8)
+        assert manhattan_distance(mesh, 0, 63) == 14
+        assert manhattan_distance(mesh, 9, 9) == 0
+        assert manhattan_distance(mesh, 0, 7) == 7
+
+    @given(size=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_channel_symmetry(self, size):
+        mesh = Mesh(size)
+        mesh.validate()
+        channels = list(mesh.channels())
+        # 2 directed channels per adjacent pair: 2 * 2*n*(n-1)
+        assert len(channels) == 4 * size * (size - 1)
+
+
+class TestTorus:
+    def test_wrap_links(self):
+        torus = Torus(4)
+        # Router 0's west neighbor wraps to router 3.
+        west = torus.direction_port(3)
+        east = torus.direction_port(1)
+        assert torus.neighbor(0, west) == (3, east)
+        # North of router 0 wraps to the bottom row.
+        north = torus.direction_port(0)
+        south = torus.direction_port(2)
+        assert torus.neighbor(0, north) == (12, south)
+
+    def test_validate(self):
+        Torus(4).validate()
+
+    def test_every_port_connected(self):
+        torus = Torus(4)
+        for rid in range(torus.num_routers):
+            for port in range(1, 5):
+                assert torus.neighbor(rid, port) is not None
+
+    def test_bisection_includes_wrap(self):
+        # Direct plus wrap-around channel per row.
+        assert len(Torus(8).bisection_channels()) == 16
+
+    def test_torus_distance_uses_wrap(self):
+        torus = Torus(8)
+        assert torus_distance(torus, 0, 7) == 1
+        assert torus_distance(torus, 0, 63) == 2
+        assert torus_distance(torus, 0, 36) == 8
+
+
+class TestConcentratedMesh:
+    def test_counts(self):
+        cmesh = ConcentratedMesh(4, concentration=4)
+        assert cmesh.num_routers == 16
+        assert cmesh.num_nodes == 64
+        assert cmesh.num_ports(0) == 8
+        assert cmesh.num_local_ports(0) == 4
+
+    def test_node_mapping(self):
+        cmesh = ConcentratedMesh(4, concentration=4)
+        assert cmesh.router_of_node(0) == 0
+        assert cmesh.router_of_node(7) == 1
+        assert cmesh.local_port_of_node(7) == 3
+        assert cmesh.node_at(1, 3) == 7
+
+    def test_node_at_rejects_network_port(self):
+        with pytest.raises(ValueError):
+            ConcentratedMesh(4).node_at(0, 4)
+
+    def test_validate(self):
+        ConcentratedMesh(4, concentration=4).validate()
+
+    def test_bisection(self):
+        assert len(ConcentratedMesh(4).bisection_channels()) == 4
+
+
+class TestFlattenedButterfly:
+    def test_counts(self):
+        fbfly = FlattenedButterfly(4, concentration=4)
+        assert fbfly.num_routers == 16
+        assert fbfly.num_nodes == 64
+        assert fbfly.num_ports(0) == 10
+
+    def test_row_connectivity(self):
+        fbfly = FlattenedButterfly(4)
+        # Router 0 (row 0, col 0) reaches every other column in its row.
+        reached = set()
+        for port in range(4, 7):
+            other, _ = fbfly.neighbor(0, port)
+            reached.add(fbfly.coords(other))
+        assert reached == {(0, 1), (0, 2), (0, 3)}
+
+    def test_column_connectivity(self):
+        fbfly = FlattenedButterfly(4)
+        reached = set()
+        for port in range(7, 10):
+            other, _ = fbfly.neighbor(0, port)
+            reached.add(fbfly.coords(other))
+        assert reached == {(1, 0), (2, 0), (3, 0)}
+
+    def test_validate(self):
+        FlattenedButterfly(4, concentration=4).validate()
+
+    def test_row_port_to_rejects_self(self):
+        fbfly = FlattenedButterfly(4)
+        with pytest.raises(ValueError):
+            fbfly.row_port_to(0, 0)
+
+    def test_bisection(self):
+        # Per row: 2 left cols x 2 right cols = 4 channels; 4 rows = 16.
+        assert len(FlattenedButterfly(4).bisection_channels()) == 16
