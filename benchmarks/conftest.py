@@ -6,9 +6,6 @@ reports, so `pytest benchmarks/ --benchmark-only` both times the harness
 and emits the reproduction numbers.
 """
 
-import pytest
-
-
 def print_banner(title: str) -> None:
     print()
     print("=" * 72)

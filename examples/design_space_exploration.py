@@ -11,8 +11,6 @@ Run:  python examples/design_space_exploration.py
 
 from repro.core.design_space import PlacementExplorer
 from repro.core.layouts import (
-    center_positions,
-    diagonal_positions,
     layout_by_name,
     build_network,
 )

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.core.layouts import build_network, layout_by_name
 from repro.core.power import network_power_breakdown
+from repro.obs import Observation, observe
 from repro.traffic.patterns import pattern_by_name
 from repro.traffic.runner import run_synthetic
 
@@ -28,15 +29,45 @@ def run_layout_synthetic(
     fast: bool = True,
     seed: int = 11,
     flit_mode: str = "paper",
+    observe_window: Optional[int] = None,
+    trace: bool = False,
+    profile: bool = False,
+    progress: Optional[Callable] = None,
     **overrides,
 ) -> Dict[str, object]:
-    """Build a layout network, drive it with a pattern, return key metrics."""
+    """Build a layout network, drive it with a pattern, return key metrics.
+
+    Observability (``repro.obs``) rides along on demand: ``observe_window``
+    enables windowed time-series sampling at that width, ``trace`` records
+    hop-by-hop traces of measured packets, ``profile`` collects step-phase
+    wall-clock timings and ``progress`` receives ETA heartbeats.  The
+    attached :class:`~repro.obs.Observation` bundle (finalized) is returned
+    under the ``"observation"`` key (``None`` when disabled).
+    """
     layout = layout_by_name(layout_name)
     network = build_network(layout, flit_mode=flit_mode)
     pattern = pattern_by_name(pattern_name, network.topology)
     scale = measurement_scale(fast)
     scale.update(overrides)
-    result = run_synthetic(network, pattern, rate, seed=seed, **scale)
+    observation: Optional[Observation] = None
+    if observe_window is not None or trace or profile:
+        observation = observe(
+            network,
+            sample_window=observe_window if observe_window is not None else 100,
+            trace=trace,
+            profile=profile,
+        )
+    result = run_synthetic(
+        network,
+        pattern,
+        rate,
+        seed=seed,
+        profiler=observation.profiler if observation is not None else None,
+        progress=progress,
+        **scale,
+    )
+    if observation is not None:
+        observation.finalize()
     power = network_power_breakdown(network, result.stats)
     return {
         "layout": layout_name,
@@ -44,6 +75,7 @@ def run_layout_synthetic(
         "rate": rate,
         "result": result,
         "network": network,
+        "observation": observation,
         "latency_cycles": result.stats.avg_latency_cycles,
         "latency_ns": result.avg_latency_ns(layout.frequency_ghz),
         "queuing_cycles": result.stats.avg_queuing_cycles,
@@ -53,6 +85,7 @@ def run_layout_synthetic(
         "power_w": power["total"],
         "power_breakdown": power,
         "saturated": result.saturated,
+        "summary": result.stats.summary(layout.frequency_ghz),
     }
 
 

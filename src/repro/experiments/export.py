@@ -4,13 +4,18 @@ Every harness returns plain dict/list structures; these helpers flatten
 them into CSV files so the figures can be re-plotted outside Python.
 ``python -m repro.experiments.run_all --csv <dir>`` writes one file per
 experiment.
+
+:func:`export_observation` extends the same treatment to observability
+artifacts (see :mod:`repro.obs`): sampler time series become long-format
+CSVs, packet traces become JSONL plus a Chrome ``trace_event`` document,
+and profiler reports become JSON.
 """
 
 from __future__ import annotations
 
 import csv
 import pathlib
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Sequence, Union
 
 Scalar = Union[int, float, str, bool, None]
 
@@ -94,4 +99,41 @@ def export_experiment(name: str, data: Mapping, directory: Union[str, pathlib.Pa
                 written.append(write_rows(target, flatten_grid(value)))
         except (ValueError, TypeError):
             continue
+    return written
+
+
+def export_observation(
+    name: str, observation, directory: Union[str, pathlib.Path]
+) -> List[pathlib.Path]:
+    """Export an :class:`repro.obs.Observation` bundle's artifacts.
+
+    Writes whatever the bundle collected: ``<name>_timeseries.csv`` /
+    ``<name>_buffer_series.csv`` / ``<name>_link_series.csv`` for the
+    sampler, ``<name>_trace.jsonl`` + ``<name>_trace_chrome.json`` for the
+    tracer and ``<name>_profile.json`` for the profiler.  Returns the list
+    of paths written.
+    """
+    from repro.obs.exporters import (
+        write_chrome_trace,
+        write_profile_json,
+        write_sampler_csv,
+        write_trace_jsonl,
+    )
+
+    directory = pathlib.Path(directory)
+    written: List[pathlib.Path] = []
+    sampler = getattr(observation, "sampler", None)
+    if sampler is not None and sampler.windows:
+        written.extend(write_sampler_csv(sampler, directory, prefix=name))
+    tracer = getattr(observation, "tracer", None)
+    if tracer is not None and tracer.traces:
+        written.append(write_trace_jsonl(tracer, directory / f"{name}_trace.jsonl"))
+        written.append(
+            write_chrome_trace(tracer, directory / f"{name}_trace_chrome.json")
+        )
+    profiler = getattr(observation, "profiler", None)
+    if profiler is not None and profiler.steps:
+        written.append(
+            write_profile_json(profiler, directory / f"{name}_profile.json")
+        )
     return written

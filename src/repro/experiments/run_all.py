@@ -6,9 +6,15 @@ Usage::
     python -m repro.experiments.run_all --full   # paper-scale (slow)
     python -m repro.experiments.run_all fig07 fig09   # a subset
     python -m repro.experiments.run_all --csv out/    # also export CSVs
+    python -m repro.experiments.run_all --obs out/    # observability demo:
+                                                      #   instrumented fig01
+                                                      #   run -> time series,
+                                                      #   trace, profile
 
 Each harness prints the paper-shaped rows/series; EXPERIMENTS.md holds
-the recorded measured-vs-paper comparison.
+the recorded measured-vs-paper comparison.  After each harness a progress
+line reports elapsed wall-clock and the ETA for the remaining harnesses
+(estimated from the mean harness duration so far).
 """
 
 from __future__ import annotations
@@ -66,23 +72,61 @@ _EXPORTABLE = {
 }
 
 
+def _export_observability(directory: str, fast: bool) -> None:
+    """Run one instrumented Figure-1-style run and export its artifacts.
+
+    Demonstrates the full observability stack end to end: time-series
+    sampling, packet tracing, step-phase profiling and the CSV/JSON/JSONL
+    exporters -- the quickest way to get a trace file for
+    ``python -m repro.obs.replay``.
+    """
+    from repro.experiments.common import run_layout_synthetic
+    from repro.experiments.export import export_observation
+
+    data = run_layout_synthetic(
+        "baseline",
+        "uniform_random",
+        rate=0.05,
+        fast=fast,
+        observe_window=100,
+        trace=True,
+        profile=True,
+    )
+    observation = data["observation"]
+    for path in export_observation("obs_demo", observation, directory):
+        print(f"  wrote {path}")
+    if observation.profiler is not None:
+        print(observation.profiler.format_report())
+
+
+def _pop_flag_with_value(argv: list, flag: str):
+    """Remove ``flag VALUE`` from argv; returns (value, argv) or raises."""
+    index = argv.index(flag)
+    if index + 1 >= len(argv):
+        raise ValueError(f"{flag} needs a directory argument")
+    return argv[index + 1], argv[:index] + argv[index + 2:]
+
+
 def main(argv: list) -> int:
     fast = "--full" not in argv
     csv_dir = None
-    if "--csv" in argv:
-        index = argv.index("--csv")
-        if index + 1 >= len(argv):
-            print("--csv needs a directory argument")
-            return 2
-        csv_dir = argv[index + 1]
-        argv = argv[:index] + argv[index + 2:]
+    obs_dir = None
+    try:
+        if "--csv" in argv:
+            csv_dir, argv = _pop_flag_with_value(argv, "--csv")
+        if "--obs" in argv:
+            obs_dir, argv = _pop_flag_with_value(argv, "--obs")
+    except ValueError as exc:
+        print(exc)
+        return 2
     selected = [a for a in argv if not a.startswith("-")]
     names = selected or list(HARNESSES)
     unknown = [n for n in names if n not in HARNESSES]
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(HARNESSES)}")
         return 2
-    for name in names:
+    suite_start = time.time()
+    for done, name in enumerate(names):
         print("=" * 72)
         print(f"{name}  ({'fast' if fast else 'full'} scale)")
         print("=" * 72)
@@ -94,7 +138,19 @@ def main(argv: list) -> int:
             written = export_experiment(name, _EXPORTABLE[name](fast), csv_dir)
             for path in written:
                 print(f"  wrote {path}")
-        print(f"[{name} done in {time.time() - start:.1f} s]\n")
+        elapsed = time.time() - suite_start
+        remaining = len(names) - (done + 1)
+        eta = elapsed / (done + 1) * remaining
+        print(
+            f"[{name} done in {time.time() - start:.1f} s; "
+            f"{done + 1}/{len(names)} harnesses, {elapsed:.1f} s elapsed, "
+            f"ETA {eta:.0f} s]\n"
+        )
+    if obs_dir:
+        print("=" * 72)
+        print("observability export")
+        print("=" * 72)
+        _export_observability(obs_dir, fast)
     return 0
 
 

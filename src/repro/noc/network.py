@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.noc.config import NetworkConfig, RouterConfig
@@ -100,6 +101,12 @@ class Network:
         self.packets_in_flight = 0
         #: optional callback fired on every delivered packet
         self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+        #: optional observation hooks (see :mod:`repro.obs.hooks`); ``None``
+        #: keeps every tap point on its single-attribute-check fast path.
+        self.obs = None
+        #: optional :class:`repro.obs.profiler.RunProfiler`; when set,
+        #: :meth:`step` switches to the phase-timed variant.
+        self.profiler = None
         for src, sport, _dst, _dport in topology.channels():
             link = self.routers[src].out_links[sport]
             if link is not None:
@@ -140,6 +147,19 @@ class Network:
     @property
     def stats(self) -> NetworkStats:
         return self._stats
+
+    def attach_observer(self, observer) -> None:
+        """Attach observation hooks (an :class:`repro.obs.hooks.Observer`)
+        to the network and all its routers."""
+        self.obs = observer
+        for router in self.routers:
+            router.obs = observer
+
+    def detach_observer(self) -> None:
+        """Remove the observation hooks; tap points revert to no-ops."""
+        self.obs = None
+        for router in self.routers:
+            router.obs = None
 
     def begin_measurement(self) -> None:
         """Open the measurement window: snapshot event counters so that
@@ -201,11 +221,15 @@ class Network:
         source = self.sources[packet.src]
         limit = self.config.source_queue_limit
         if limit is not None and len(source.queue) >= limit:
+            if self.obs is not None:
+                self.obs.on_packet_dropped(packet, self.cycle)
             return False
         if packet.measured:
             self._stats.packets_offered += 1
         source.queue.append(packet)
         self.packets_in_flight += 1
+        if self.obs is not None:
+            self.obs.on_packet_enqueued(packet, self.cycle)
         return True
 
     def idle(self) -> bool:
@@ -214,6 +238,9 @@ class Network:
 
     def step(self) -> None:
         """Advance the network by one clock cycle."""
+        if self.profiler is not None:
+            self._step_profiled()
+            return
         cycle = self.cycle
         self._deliver_arrivals(cycle)
         self._deliver_credits(cycle)
@@ -232,6 +259,48 @@ class Network:
             self._stats.measured_cycles += 1
             for router in self.routers:
                 router.sample_occupancy()
+        if self.obs is not None:
+            self.obs.on_cycle_end(cycle, self.measuring)
+        self.cycle = cycle + 1
+
+    def _step_profiled(self) -> None:
+        """One clock cycle with per-phase wall-clock timing.
+
+        Mirrors :meth:`step` exactly (same phase order, same hook firing)
+        but brackets each phase with ``perf_counter`` and reports the six
+        durations to the attached profiler.  Kept separate so the default
+        path stays free of timing overhead.
+        """
+        cycle = self.cycle
+        t0 = perf_counter()
+        self._deliver_arrivals(cycle)
+        t1 = perf_counter()
+        self._deliver_credits(cycle)
+        t2 = perf_counter()
+        self._inject(cycle)
+        t3 = perf_counter()
+        routing = self.routing
+        for router in self.routers:
+            if router.occupied_flits:
+                router.allocate_vcs(routing, cycle)
+        t4 = perf_counter()
+        for router in self.routers:
+            if not router.occupied_flits:
+                continue
+            grants = router.allocate_switch(cycle)
+            if grants:
+                self._transport(router, grants, cycle)
+        t5 = perf_counter()
+        if self.measuring:
+            self._stats.measured_cycles += 1
+            for router in self.routers:
+                router.sample_occupancy()
+        if self.obs is not None:
+            self.obs.on_cycle_end(cycle, self.measuring)
+        t6 = perf_counter()
+        self.profiler.record_step(
+            t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4, t6 - t5
+        )
         self.cycle = cycle + 1
 
     def run_cycles(self, n: int) -> None:
@@ -265,14 +334,18 @@ class Network:
         events = self._credits.pop(cycle, None)
         if not events:
             return
+        obs = self.obs
         for router_id, port, vc, release in events:
             router = self.routers[router_id]
             router.return_credit(port, vc)
             if release:
                 router.release_vc(port, vc)
+            if obs is not None:
+                obs.on_credit_return(router_id, port, vc, cycle)
 
     def _inject(self, cycle: int) -> None:
         topo = self.topology
+        obs = self.obs
         for node, source in enumerate(self.sources):
             if not source.mid_packet and not source.queue:
                 continue
@@ -299,6 +372,10 @@ class Network:
                 router.write_flit(port, source.vc, flit, cycle)
                 source.next_flit += 1
                 budget -= 1
+                if obs is not None:
+                    obs.on_flit_injected(
+                        node, router.router_id, port, source.vc, flit, cycle
+                    )
                 if not source.mid_packet:
                     source.flits = []
                     source.vc = None
@@ -329,9 +406,13 @@ class Network:
     ) -> None:
         topo = self.topology
         rid = router.router_id
+        obs = self.obs
+        track_links = self.measuring or obs is not None
         used_ports = set()
         for grant in grants:
             router.commit_grant(grant)
+            if obs is not None:
+                obs.on_switch_grant(rid, grant, cycle)
             flit = grant.flit
             packet = flit.packet
             if router.is_ejection[grant.out_port]:
@@ -340,6 +421,8 @@ class Network:
                         router.config.lanes if self.config.flit_merging else 1
                     )
                     packet.min_lanes = min(packet.min_lanes, eject_lanes)
+                if obs is not None:
+                    obs.on_flit_ejected(rid, grant.out_port, flit, cycle)
                 if flit.is_tail:
                     self._complete_packet(packet, cycle)
             else:
@@ -352,12 +435,18 @@ class Network:
                 self._arrivals.setdefault(cycle + link.delay, []).append(
                     (link.dst_router, link.dst_port, grant.out_vc, flit)
                 )
-                if self.measuring:
-                    key = (rid, grant.out_port)
-                    self._stats.link_flits[key] = (
-                        self._stats.link_flits.get(key, 0) + 1
+                if obs is not None:
+                    obs.on_link_traversal(
+                        rid, grant.out_port, link.dst_router, link.dst_port,
+                        flit, cycle,
                     )
+                if track_links:
                     used_ports.add(grant.out_port)
+                    if self.measuring:
+                        key = (rid, grant.out_port)
+                        self._stats.link_flits[key] = (
+                            self._stats.link_flits.get(key, 0) + 1
+                        )
             # Credit for the freed input slot returns to the upstream router
             # (injection from the local node needs none: the source reads
             # buffer occupancy directly).
@@ -372,12 +461,14 @@ class Network:
                         # (conservative VC reallocation).
                         (up_router, up_port, grant.in_vc, flit.is_tail)
                     )
-        if self.measuring:
-            for port in used_ports:
+        for port in used_ports:
+            if self.measuring:
                 key = (rid, port)
                 self._stats.link_busy_cycles[key] = (
                     self._stats.link_busy_cycles.get(key, 0) + 1
                 )
+            if obs is not None:
+                obs.on_link_busy(rid, port, cycle)
 
     def _complete_packet(self, packet: Packet, cycle: int) -> None:
         packet.received_at = cycle
@@ -387,6 +478,8 @@ class Network:
             self._stats.window_flit_deliveries += packet.num_flits
         if packet.measured:
             self._stats.record_packet(self._latency_record(packet))
+        if self.obs is not None:
+            self.obs.on_packet_delivered(packet, cycle)
         if self.on_delivery is not None:
             self.on_delivery(packet, cycle)
 

@@ -113,6 +113,9 @@ class Router:
         self._active: Dict[Tuple[int, int], bool] = {}
         # Rotating offset for VA fairness across input VCs.
         self._va_offset = 0
+        # Observation hooks, shared with the owning network (see
+        # Network.attach_observer); None keeps the fast path.
+        self.obs = None
 
     # -- wiring (called by the network while building) ----------------------
     def attach_output(self, port: int, link: Optional[Link],
@@ -157,6 +160,7 @@ class Router:
         active = list(self._active.keys())
         offset = self._va_offset % max(1, len(active))
         self._va_offset += 1
+        obs = self.obs
         for index in range(len(active)):
             port, vc = active[(index + offset) % len(active)]
             state = self._vc_states[port][vc]
@@ -195,6 +199,11 @@ class Router:
                         packet.on_escape = True
                         state.route_port = cand_port
                     self.activity.vc_allocations += 1
+                    if obs is not None:
+                        obs.on_vc_allocated(
+                            self.router_id, port, vc, state.route_port,
+                            cand_vc, packet, cycle,
+                        )
                     break
 
     # -- stage 2b: switch allocation ------------------------------------------

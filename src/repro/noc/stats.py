@@ -116,6 +116,10 @@ class NetworkStats:
         self.window_flit_deliveries: int = 0
         self.start_cycle: Optional[int] = None
         self.end_cycle: Optional[int] = None
+        # Set by the run driver when the drain phase hit its cycle cap
+        # (offered load beyond capacity); summary() reports it so sweep
+        # scripts can tell an empty window from a saturated one.
+        self.saturated: bool = False
 
     # -- recording ----------------------------------------------------------
     def record_packet(self, record: LatencyRecord) -> None:
@@ -166,13 +170,21 @@ class NetworkStats:
         return self.avg_latency_cycles / frequency_ghz
 
     def latency_percentile(self, fraction: float) -> float:
+        """Latency below which ``fraction`` of measured packets fall.
+
+        Uses the nearest-rank definition; ``fraction == 0.0`` is defined as
+        the minimum observed latency (rather than falling through the
+        ``ceil(fraction * n) - 1`` rank, which would index rank -1).
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         ordered = sorted(r.total for r in self.records)
         if not ordered:
             raise ValueError("no packets were measured")
-        index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
-        return float(ordered[max(0, index)])
+        if fraction == 0.0:
+            return float(ordered[0])
+        index = min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1)
+        return float(ordered[index])
 
     def latency_std_cycles(self) -> float:
         """Standard deviation of packet latency (Figure 13b's jitter)."""
@@ -225,17 +237,34 @@ class NetworkStats:
         return sum(values) / len(values)
 
     # -- convenience ----------------------------------------------------------
-    def summary(self, frequency_ghz: float = 1.0) -> Dict[str, float]:
-        """Headline numbers as a plain dict (handy for printing tables)."""
+    def summary(self, frequency_ghz: float = 1.0) -> Dict[str, object]:
+        """Headline numbers as a plain dict (handy for printing tables).
+
+        Never raises on an empty or saturated measurement window: metrics
+        that need at least one measured packet (or one measured cycle) come
+        back as ``math.nan``, and the ``measured_packets`` / ``saturated``
+        keys let sweep scripts tell the cases apart past the knee.
+        """
+
+        def _safe(compute) -> float:
+            try:
+                return float(compute())
+            except ValueError:
+                return math.nan
+
         return {
             "packets": float(self.packets_delivered),
-            "avg_latency_cycles": self.avg_latency_cycles,
-            "avg_latency_ns": self.avg_latency_ns(frequency_ghz),
-            "avg_queuing_cycles": self.avg_queuing_cycles,
-            "avg_blocking_cycles": self.avg_blocking_cycles,
-            "avg_transfer_cycles": self.avg_transfer_cycles,
-            "avg_hops": self.avg_hops,
-            "throughput_packets_per_node_cycle": (
-                self.accepted_packets_per_node_per_cycle
+            "measured_packets": float(len(self.records)),
+            "saturated": self.saturated,
+            "avg_latency_cycles": _safe(lambda: self.avg_latency_cycles),
+            "avg_latency_ns": _safe(lambda: self.avg_latency_ns(frequency_ghz)),
+            "avg_queuing_cycles": _safe(lambda: self.avg_queuing_cycles),
+            "avg_blocking_cycles": _safe(lambda: self.avg_blocking_cycles),
+            "avg_transfer_cycles": _safe(lambda: self.avg_transfer_cycles),
+            "avg_hops": _safe(lambda: self.avg_hops),
+            "p95_latency_cycles": _safe(lambda: self.latency_percentile(0.95)),
+            "p99_latency_cycles": _safe(lambda: self.latency_percentile(0.99)),
+            "throughput_packets_per_node_cycle": _safe(
+                lambda: self.accepted_packets_per_node_per_cycle
             ),
         }

@@ -1,0 +1,130 @@
+"""Observability for the NoC simulator: tracing, telemetry, profiling.
+
+The package instruments the simulator through lightweight hook points (see
+:mod:`repro.obs.hooks`); with no observer attached the core pays only a
+``None`` check per tap point.  The pieces:
+
+* :class:`~repro.obs.hooks.Observer` / ``CompositeObserver`` / ``EventLog``
+  -- the event bus;
+* :class:`~repro.obs.sampler.TimeSeriesSampler` -- windowed utilization /
+  latency / throughput series (Figure 1 heat maps as timelines);
+* :class:`~repro.obs.tracer.PacketTracer` -- hop-by-hop packet traces with
+  JSONL and Chrome ``trace_event`` export;
+* :class:`~repro.obs.profiler.RunProfiler` -- wall-clock phase profiling
+  plus :class:`~repro.obs.profiler.Progress` / ETA callbacks;
+* :mod:`repro.obs.exporters` -- CSV/JSON writers;
+* ``python -m repro.obs.replay trace.jsonl`` -- trace-file summaries.
+
+Typical use::
+
+    from repro.obs import observe
+    obs = observe(network, sample_window=200, trace=True, profile=True)
+    result = run_synthetic(network, pattern, rate, profiler=obs.profiler)
+    obs.finalize()
+    obs.sampler.buffer_utilization_series(27)   # hot center router
+    obs.tracer.write_jsonl("trace.jsonl")
+    print(obs.profiler.format_report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.hooks import CompositeObserver, EventLog, Observer
+from repro.obs.profiler import (
+    Progress,
+    RunProfiler,
+    make_progress_printer,
+)
+from repro.obs.sampler import TimeSeriesSampler, WindowSample
+from repro.obs.tracer import PacketTracer
+
+__all__ = [
+    "Observer",
+    "CompositeObserver",
+    "EventLog",
+    "TimeSeriesSampler",
+    "WindowSample",
+    "PacketTracer",
+    "RunProfiler",
+    "Progress",
+    "make_progress_printer",
+    "Observation",
+    "observe",
+]
+
+
+@dataclass
+class Observation:
+    """The bundle of observers :func:`observe` attached to a network."""
+
+    network: object
+    observer: CompositeObserver
+    sampler: Optional[TimeSeriesSampler] = None
+    tracer: Optional[PacketTracer] = None
+    profiler: Optional[RunProfiler] = None
+
+    def finalize(self) -> "Observation":
+        """Flush partial sampler windows and stop the profiler."""
+        if self.sampler is not None:
+            self.sampler.finalize()
+        if self.profiler is not None:
+            self.profiler.stop()
+        return self
+
+    def detach(self) -> "Observation":
+        """Detach every observer (and the profiler) from the network."""
+        self.network.detach_observer()
+        self.network.profiler = None
+        return self
+
+
+def observe(
+    network,
+    sample_window: Optional[int] = 100,
+    trace: bool = False,
+    trace_select="measured",
+    trace_max_packets: Optional[int] = None,
+    profile: bool = False,
+    only_measured: bool = True,
+) -> Observation:
+    """Attach a ready-made observer stack to ``network``.
+
+    Args:
+        network: a :class:`~repro.noc.network.Network`.
+        sample_window: window width (cycles) for the time-series sampler;
+            ``None`` disables sampling.
+        trace: enable the packet tracer.
+        trace_select: tracer selection (see :class:`PacketTracer`).
+        trace_max_packets: cap on concurrently traced packets.
+        profile: enable step-phase wall-clock profiling (the profiler is
+            created and attached; pass it to ``run_synthetic`` as
+            ``profiler=`` so run phases and total wall time are recorded).
+        only_measured: restrict sampling to the measurement window so the
+            series aggregate exactly to ``NetworkStats`` utilization.
+    """
+    composite = CompositeObserver()
+    sampler = None
+    if sample_window is not None:
+        sampler = TimeSeriesSampler(
+            network, window=sample_window, only_measured=only_measured
+        )
+        composite.add(sampler)
+    tracer = None
+    if trace:
+        tracer = PacketTracer(
+            select=trace_select, max_packets=trace_max_packets
+        )
+        composite.add(tracer)
+    profiler = RunProfiler() if profile else None
+    network.attach_observer(composite)
+    if profiler is not None:
+        network.profiler = profiler
+    return Observation(
+        network=network,
+        observer=composite,
+        sampler=sampler,
+        tracer=tracer,
+        profiler=profiler,
+    )

@@ -1,0 +1,173 @@
+"""JSON/CSV exporters for observability artifacts.
+
+Row builders return long-format lists of flat dicts (ready for
+:func:`repro.experiments.export.write_rows` or any CSV writer); the
+``write_*`` helpers are self-contained so the obs package has no import
+cycle with the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.obs.profiler import RunProfiler
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.tracer import PacketTracer
+
+PathLike = Union[str, pathlib.Path]
+
+
+# -- row builders -----------------------------------------------------------
+def sampler_summary_rows(
+    sampler: TimeSeriesSampler, num_nodes: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """One row per window: deliveries, throughput, mean latency."""
+    nodes = num_nodes or sampler.network.topology.num_nodes
+    rows = []
+    for w in sampler.windows:
+        rows.append(
+            {
+                "window": w.index,
+                "start_cycle": w.start_cycle,
+                "end_cycle": w.end_cycle,
+                "cycles": w.cycles,
+                "deliveries": w.deliveries,
+                "flits_delivered": w.flits_delivered,
+                "throughput_packets_per_node_cycle": (
+                    w.deliveries / (w.cycles * nodes) if w.cycles else 0.0
+                ),
+                "avg_latency_cycles": w.avg_latency_cycles,
+                "measured_deliveries": w.latency_count,
+            }
+        )
+    return rows
+
+
+def sampler_buffer_rows(sampler: TimeSeriesSampler) -> List[Dict[str, object]]:
+    """One row per (window, router): buffer utilization time series."""
+    rows = []
+    capacities = [
+        sampler.buffer_capacity(r) for r in range(len(sampler.network.routers))
+    ]
+    for w in sampler.windows:
+        for router, capacity in enumerate(capacities):
+            rows.append(
+                {
+                    "window": w.index,
+                    "start_cycle": w.start_cycle,
+                    "router": router,
+                    "occupancy_integral": w.occupancy[router],
+                    "buffer_utilization": w.buffer_utilization(
+                        router, capacity
+                    ),
+                }
+            )
+    return rows
+
+
+def sampler_link_rows(sampler: TimeSeriesSampler) -> List[Dict[str, object]]:
+    """One row per (window, channel): link utilization time series."""
+    keys = sampler.link_keys()
+    rows = []
+    for w in sampler.windows:
+        for router, port in keys:
+            rows.append(
+                {
+                    "window": w.index,
+                    "start_cycle": w.start_cycle,
+                    "router": router,
+                    "port": port,
+                    "busy_cycles": w.link_busy.get((router, port), 0),
+                    "link_utilization": w.link_utilization(router, port),
+                }
+            )
+    return rows
+
+
+# -- writers ----------------------------------------------------------------
+def _write_csv(path: PathLike, rows: List[Dict[str, object]]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        raise ValueError(f"nothing to export to {path}: no rows")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_sampler_csv(
+    sampler: TimeSeriesSampler, directory: PathLike, prefix: str = "obs"
+) -> List[pathlib.Path]:
+    """Write summary/buffer/link window series as three CSV files."""
+    directory = pathlib.Path(directory)
+    written = []
+    for suffix, rows in (
+        ("timeseries", sampler_summary_rows(sampler)),
+        ("buffer_series", sampler_buffer_rows(sampler)),
+        ("link_series", sampler_link_rows(sampler)),
+    ):
+        if rows:
+            written.append(_write_csv(directory / f"{prefix}_{suffix}.csv", rows))
+    return written
+
+
+def write_sampler_json(
+    sampler: TimeSeriesSampler, path: PathLike
+) -> pathlib.Path:
+    """Dump the full window list (plus whole-run averages) as one JSON doc."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    num_routers = len(sampler.network.routers)
+    document = {
+        "window_cycles": sampler.window,
+        "sampled_cycles": sampler.sampled_cycles(),
+        "windows": [
+            {
+                "index": w.index,
+                "start_cycle": w.start_cycle,
+                "end_cycle": w.end_cycle,
+                "cycles": w.cycles,
+                "occupancy": w.occupancy,
+                "link_busy": {
+                    f"{router}:{port}": busy
+                    for (router, port), busy in sorted(w.link_busy.items())
+                },
+                "deliveries": w.deliveries,
+                "flits_delivered": w.flits_delivered,
+                "latency_sum": w.latency_sum,
+                "latency_count": w.latency_count,
+            }
+            for w in sampler.windows
+        ],
+        "time_average_buffer_utilization": [
+            sampler.time_average_buffer_utilization(r)
+            for r in range(num_routers)
+        ],
+    }
+    with path.open("w") as handle:
+        json.dump(document, handle)
+    return path
+
+
+def write_trace_jsonl(tracer: PacketTracer, path: PathLike) -> pathlib.Path:
+    """JSONL packet trace (delegates to the tracer)."""
+    return tracer.write_jsonl(path)
+
+
+def write_chrome_trace(tracer: PacketTracer, path: PathLike) -> pathlib.Path:
+    """Chrome ``trace_event`` JSON (delegates to the tracer)."""
+    return tracer.write_chrome_trace(path)
+
+
+def write_profile_json(profiler: RunProfiler, path: PathLike) -> pathlib.Path:
+    """Profiler report as a JSON document."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(profiler.report(), handle)
+    return path

@@ -1,0 +1,294 @@
+"""The observation event bus: hook points tapped by the simulator core.
+
+The network and routers expose a single optional ``obs`` attribute.  When it
+is ``None`` (the default) every tap point collapses to one attribute check,
+so an un-observed simulation pays essentially nothing.  When an
+:class:`Observer` is attached (``Network.attach_observer``), the core fires
+fine-grained callbacks for every interesting micro-event:
+
+========================  =====================================================
+hook                      fired when
+========================  =====================================================
+``on_packet_enqueued``    a packet enters its source queue
+``on_packet_dropped``     the source queue was full (closed-loop setting)
+``on_flit_injected``      a flit moves source queue -> local input buffer
+``on_vc_allocated``       a head flit wins a downstream virtual channel
+``on_switch_grant``       a flit wins switch allocation (one per grant)
+``on_link_traversal``     a flit departs onto an inter-router link
+``on_link_busy``          an output channel carried >= 1 flit this cycle
+``on_flit_ejected``       a flit leaves the network at its destination
+``on_packet_delivered``   a tail flit ejects; the packet is complete
+``on_credit_return``      an upstream router receives a credit back
+``on_cycle_end``          the network finished one clock cycle
+``on_drain_truncated``    the run driver gave up draining measured packets
+========================  =====================================================
+
+Hooks fire regardless of the measurement window; observers that want to
+mirror :class:`~repro.noc.stats.NetworkStats` exactly (the time-series
+sampler does) filter on the ``measuring`` flag themselves.
+
+All callbacks take plain positional arguments -- no per-event object is
+allocated -- so an attached observer costs one method call per event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+
+class Observer:
+    """Base observer: every hook is a no-op.
+
+    Subclass and override only the hooks you care about.  ``flit`` and
+    ``packet`` arguments are the live simulator objects; observers must not
+    mutate them.
+    """
+
+    def on_packet_enqueued(self, packet, cycle: int) -> None:
+        """``packet`` was appended to its source queue at ``cycle``."""
+
+    def on_packet_dropped(self, packet, cycle: int) -> None:
+        """``packet`` was rejected by a full source queue at ``cycle``."""
+
+    def on_flit_injected(
+        self, node: int, router_id: int, port: int, vc: int, flit, cycle: int
+    ) -> None:
+        """``flit`` moved from node ``node``'s source queue into the local
+        input buffer of ``router_id`` (port/vc are the input coordinates)."""
+
+    def on_vc_allocated(
+        self,
+        router_id: int,
+        in_port: int,
+        in_vc: int,
+        out_port: int,
+        out_vc: int,
+        packet,
+        cycle: int,
+    ) -> None:
+        """``packet``'s head flit claimed downstream VC ``out_vc`` of
+        ``out_port`` at router ``router_id``."""
+
+    def on_switch_grant(self, router_id: int, grant, cycle: int) -> None:
+        """One switch-allocation winner (a :class:`~repro.noc.router.Grant`)
+        is about to traverse the crossbar of ``router_id``."""
+
+    def on_link_traversal(
+        self,
+        src_router: int,
+        src_port: int,
+        dst_router: int,
+        dst_port: int,
+        flit,
+        cycle: int,
+    ) -> None:
+        """``flit`` departed ``(src_router, src_port)`` onto the link toward
+        ``(dst_router, dst_port)``."""
+
+    def on_link_busy(self, router_id: int, port: int, cycle: int) -> None:
+        """Output channel ``(router_id, port)`` carried at least one flit
+        during ``cycle`` (at most one event per channel per cycle)."""
+
+    def on_flit_ejected(
+        self, router_id: int, port: int, flit, cycle: int
+    ) -> None:
+        """``flit`` was consumed by the ejection port of ``router_id``."""
+
+    def on_packet_delivered(self, packet, cycle: int) -> None:
+        """``packet``'s tail flit ejected; timestamps on the packet are
+        final (``received_at`` == ``cycle``)."""
+
+    def on_credit_return(
+        self, router_id: int, port: int, vc: int, cycle: int
+    ) -> None:
+        """Router ``router_id`` received a credit back for ``(port, vc)``."""
+
+    def on_cycle_end(self, cycle: int, measuring: bool) -> None:
+        """The network completed ``cycle``; ``measuring`` is the state of
+        the measurement window during that cycle."""
+
+    def on_drain_truncated(self, in_flight_measured: int, cycle: int) -> None:
+        """The run driver hit its drain-cycle cap with
+        ``in_flight_measured`` measured packets still undelivered."""
+
+
+class CompositeObserver(Observer):
+    """Fans every event out to an ordered list of child observers."""
+
+    def __init__(self, children: Optional[Iterable[Observer]] = None) -> None:
+        self.children: List[Observer] = list(children or [])
+
+    def add(self, observer: Observer) -> Observer:
+        """Append a child; returns it for chaining."""
+        self.children.append(observer)
+        return observer
+
+    def on_packet_enqueued(self, packet, cycle: int) -> None:
+        for child in self.children:
+            child.on_packet_enqueued(packet, cycle)
+
+    def on_packet_dropped(self, packet, cycle: int) -> None:
+        for child in self.children:
+            child.on_packet_dropped(packet, cycle)
+
+    def on_flit_injected(
+        self, node: int, router_id: int, port: int, vc: int, flit, cycle: int
+    ) -> None:
+        for child in self.children:
+            child.on_flit_injected(node, router_id, port, vc, flit, cycle)
+
+    def on_vc_allocated(
+        self,
+        router_id: int,
+        in_port: int,
+        in_vc: int,
+        out_port: int,
+        out_vc: int,
+        packet,
+        cycle: int,
+    ) -> None:
+        for child in self.children:
+            child.on_vc_allocated(
+                router_id, in_port, in_vc, out_port, out_vc, packet, cycle
+            )
+
+    def on_switch_grant(self, router_id: int, grant, cycle: int) -> None:
+        for child in self.children:
+            child.on_switch_grant(router_id, grant, cycle)
+
+    def on_link_traversal(
+        self,
+        src_router: int,
+        src_port: int,
+        dst_router: int,
+        dst_port: int,
+        flit,
+        cycle: int,
+    ) -> None:
+        for child in self.children:
+            child.on_link_traversal(
+                src_router, src_port, dst_router, dst_port, flit, cycle
+            )
+
+    def on_link_busy(self, router_id: int, port: int, cycle: int) -> None:
+        for child in self.children:
+            child.on_link_busy(router_id, port, cycle)
+
+    def on_flit_ejected(
+        self, router_id: int, port: int, flit, cycle: int
+    ) -> None:
+        for child in self.children:
+            child.on_flit_ejected(router_id, port, flit, cycle)
+
+    def on_packet_delivered(self, packet, cycle: int) -> None:
+        for child in self.children:
+            child.on_packet_delivered(packet, cycle)
+
+    def on_credit_return(
+        self, router_id: int, port: int, vc: int, cycle: int
+    ) -> None:
+        for child in self.children:
+            child.on_credit_return(router_id, port, vc, cycle)
+
+    def on_cycle_end(self, cycle: int, measuring: bool) -> None:
+        for child in self.children:
+            child.on_cycle_end(cycle, measuring)
+
+    def on_drain_truncated(self, in_flight_measured: int, cycle: int) -> None:
+        for child in self.children:
+            child.on_drain_truncated(in_flight_measured, cycle)
+
+
+class EventLog(Observer):
+    """Debug observer: records every event as a small tuple.
+
+    Tuples start with the event kind (the hook name without the ``on_``
+    prefix) followed by the cycle and the event's identifying fields.  A
+    ``max_events`` cap guards against runaway memory on long runs; counts
+    keep accumulating past the cap.
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.max_events = max_events
+        self.events: List[Tuple] = []
+        self.counts: dict = {}
+
+    def _log(self, kind: str, *fields) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if len(self.events) < self.max_events:
+            self.events.append((kind, *fields))
+
+    def on_packet_enqueued(self, packet, cycle: int) -> None:
+        self._log("packet_enqueued", cycle, packet.packet_id)
+
+    def on_packet_dropped(self, packet, cycle: int) -> None:
+        self._log("packet_dropped", cycle, packet.packet_id)
+
+    def on_flit_injected(
+        self, node: int, router_id: int, port: int, vc: int, flit, cycle: int
+    ) -> None:
+        self._log(
+            "flit_injected", cycle, flit.packet.packet_id, flit.index,
+            node, router_id, port, vc,
+        )
+
+    def on_vc_allocated(
+        self,
+        router_id: int,
+        in_port: int,
+        in_vc: int,
+        out_port: int,
+        out_vc: int,
+        packet,
+        cycle: int,
+    ) -> None:
+        self._log(
+            "vc_allocated", cycle, packet.packet_id,
+            router_id, in_port, in_vc, out_port, out_vc,
+        )
+
+    def on_switch_grant(self, router_id: int, grant, cycle: int) -> None:
+        self._log(
+            "switch_grant", cycle, grant.flit.packet.packet_id,
+            grant.flit.index, router_id, grant.in_port, grant.in_vc,
+            grant.out_port,
+        )
+
+    def on_link_traversal(
+        self,
+        src_router: int,
+        src_port: int,
+        dst_router: int,
+        dst_port: int,
+        flit,
+        cycle: int,
+    ) -> None:
+        self._log(
+            "link_traversal", cycle, flit.packet.packet_id, flit.index,
+            src_router, src_port, dst_router, dst_port,
+        )
+
+    def on_link_busy(self, router_id: int, port: int, cycle: int) -> None:
+        self._log("link_busy", cycle, router_id, port)
+
+    def on_flit_ejected(
+        self, router_id: int, port: int, flit, cycle: int
+    ) -> None:
+        self._log(
+            "flit_ejected", cycle, flit.packet.packet_id, flit.index,
+            router_id, port,
+        )
+
+    def on_packet_delivered(self, packet, cycle: int) -> None:
+        self._log("packet_delivered", cycle, packet.packet_id)
+
+    def on_credit_return(
+        self, router_id: int, port: int, vc: int, cycle: int
+    ) -> None:
+        self._log("credit_return", cycle, router_id, port, vc)
+
+    def on_cycle_end(self, cycle: int, measuring: bool) -> None:
+        self.counts["cycle_end"] = self.counts.get("cycle_end", 0) + 1
+
+    def on_drain_truncated(self, in_flight_measured: int, cycle: int) -> None:
+        self._log("drain_truncated", cycle, in_flight_measured)

@@ -1,0 +1,187 @@
+"""Wall-clock profiling and progress reporting for simulation runs.
+
+:class:`RunProfiler` answers "where does the wall-clock go?" for the
+pure-Python cycle loop: attach one to a network (``network.profiler =
+profiler`` or via :func:`repro.obs.observe`) and ``Network.step`` switches
+to an instrumented variant that times each per-cycle phase (arrival
+delivery, credit delivery, injection, VC allocation, switch allocation +
+traversal, occupancy sampling).  The run driver additionally tracks the
+warmup / measure / drain phases and the overall cycles-per-second rate.
+
+:class:`Progress` is the payload handed to the ``progress`` callback of
+:func:`repro.traffic.runner.run_synthetic`; :func:`make_progress_printer`
+builds a ready-made callback that prints ETA lines at a bounded rate.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+#: step-loop phases timed by ``Network._step_profiled`` (in order).
+STEP_PHASES = (
+    "arrivals",
+    "credits",
+    "inject",
+    "vc_alloc",
+    "switch",
+    "sample",
+)
+
+
+class RunProfiler:
+    """Accumulates wall-clock timings for a simulation run."""
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {p: 0.0 for p in STEP_PHASES}
+        self.steps = 0
+        self.wall_seconds = 0.0
+        self.run_phase_seconds: Dict[str, float] = {}
+        self._started_at: Optional[float] = None
+        self._run_phase: Optional[str] = None
+        self._run_phase_started = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "RunProfiler":
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> "RunProfiler":
+        if self._started_at is not None:
+            self.wall_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+        self.enter_run_phase(None)
+        return self
+
+    def enter_run_phase(self, name: Optional[str]) -> None:
+        """Close the current run-level phase (warmup/measure/drain/...) and
+        open ``name`` (``None`` just closes)."""
+        now = time.perf_counter()
+        if self._run_phase is not None:
+            self.run_phase_seconds[self._run_phase] = (
+                self.run_phase_seconds.get(self._run_phase, 0.0)
+                + now
+                - self._run_phase_started
+            )
+        self._run_phase = name
+        self._run_phase_started = now
+
+    # -- called by Network._step_profiled ------------------------------------
+    def record_step(
+        self,
+        arrivals: float,
+        credits: float,
+        inject: float,
+        vc_alloc: float,
+        switch: float,
+        sample: float,
+    ) -> None:
+        phase_seconds = self.phase_seconds
+        phase_seconds["arrivals"] += arrivals
+        phase_seconds["credits"] += credits
+        phase_seconds["inject"] += inject
+        phase_seconds["vc_alloc"] += vc_alloc
+        phase_seconds["switch"] += switch
+        phase_seconds["sample"] += sample
+        self.steps += 1
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def step_seconds(self) -> float:
+        """Total time spent inside timed step phases."""
+        return sum(self.phase_seconds.values())
+
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per wall-clock second."""
+        wall = self.wall_seconds or self.step_seconds
+        if wall <= 0.0 or self.steps == 0:
+            return 0.0
+        return self.steps / wall
+
+    def report(self) -> Dict[str, object]:
+        """Everything as a plain JSON-serializable dict."""
+        step_total = self.step_seconds
+        return {
+            "wall_seconds": self.wall_seconds,
+            "cycles": self.steps,
+            "cycles_per_second": self.cycles_per_second(),
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_fraction": {
+                phase: (seconds / step_total if step_total > 0 else 0.0)
+                for phase, seconds in self.phase_seconds.items()
+            },
+            "run_phase_seconds": dict(self.run_phase_seconds),
+        }
+
+    def format_report(self) -> str:
+        """Human-readable multi-line timing summary."""
+        report = self.report()
+        lines = [
+            f"cycles            {report['cycles']}",
+            f"wall clock        {report['wall_seconds']:.3f} s",
+            f"cycles/second     {report['cycles_per_second']:.0f}",
+            "step-phase breakdown:",
+        ]
+        for phase in STEP_PHASES:
+            seconds = self.phase_seconds[phase]
+            fraction = report["phase_fraction"][phase]
+            lines.append(f"  {phase:<10} {seconds:8.3f} s  {100 * fraction:5.1f}%")
+        if self.run_phase_seconds:
+            lines.append("run-phase breakdown:")
+            for name, seconds in self.run_phase_seconds.items():
+                lines.append(f"  {name:<10} {seconds:8.3f} s")
+        return "\n".join(lines)
+
+
+@dataclass
+class Progress:
+    """One progress heartbeat from a run driver."""
+
+    phase: str  # "warmup" | "measure" | "drain"
+    cycle: int
+    done: int  # packets created (warmup/measure) or recorded (drain)
+    target: int
+    elapsed_s: float
+
+    @property
+    def fraction(self) -> float:
+        if self.target <= 0:
+            return math.nan
+        return min(1.0, self.done / self.target)
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds to completion; ``nan`` until progress exists."""
+        if self.done <= 0 or self.target <= 0 or self.elapsed_s <= 0:
+            return math.nan
+        remaining = max(0, self.target - self.done)
+        return self.elapsed_s * remaining / self.done
+
+    def __str__(self) -> str:
+        eta = self.eta_s
+        eta_text = f"{eta:.1f}s" if not math.isnan(eta) else "?"
+        return (
+            f"[{self.phase}] cycle {self.cycle}: {self.done}/{self.target} "
+            f"({100 * self.fraction:.0f}%), elapsed {self.elapsed_s:.1f}s, "
+            f"ETA {eta_text}"
+        )
+
+
+def make_progress_printer(
+    stream=None, min_interval_s: float = 1.0
+) -> Callable[[Progress], None]:
+    """A ``progress`` callback printing at most one line per interval."""
+    out = stream if stream is not None else sys.stderr
+    last = [0.0]
+
+    def _print(progress: Progress) -> None:
+        now = time.perf_counter()
+        if now - last[0] < min_interval_s:
+            return
+        last[0] = now
+        print(progress, file=out)
+
+    return _print

@@ -1,0 +1,227 @@
+"""Summarize (and convert) packet trace files.
+
+Usage::
+
+    python -m repro.obs.replay trace.jsonl              # print a summary
+    python -m repro.obs.replay trace.jsonl --chrome out.json
+    python -m repro.obs.replay trace.jsonl --packet 42  # one packet's hops
+
+A trace file is JSONL as written by
+:meth:`repro.obs.tracer.PacketTracer.write_jsonl`: one event object per
+line, each carrying at least ``type``, ``cycle`` and ``packet_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+
+def load_events(path) -> List[dict]:
+    """Read a JSONL trace file into a list of event dicts."""
+    events = []
+    with pathlib.Path(path).open() as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not valid JSON ({exc})"
+                ) from None
+    return events
+
+
+def summarize(events: List[dict]) -> Dict[str, object]:
+    """Aggregate a trace into headline numbers."""
+    by_type: Dict[str, int] = {}
+    packets = set()
+    delivered: List[dict] = []
+    router_events: Dict[int, int] = {}
+    first_cycle: Optional[int] = None
+    last_cycle: Optional[int] = None
+    for event in events:
+        kind = event.get("type", "?")
+        by_type[kind] = by_type.get(kind, 0) + 1
+        pid = event.get("packet_id")
+        if pid is not None:
+            packets.add(pid)
+        cycle = event.get("cycle")
+        if cycle is not None:
+            first_cycle = cycle if first_cycle is None else min(first_cycle, cycle)
+            last_cycle = cycle if last_cycle is None else max(last_cycle, cycle)
+        if kind == "delivered":
+            delivered.append(event)
+        router = event.get("router", event.get("src_router"))
+        if router is not None:
+            router_events[router] = router_events.get(router, 0) + 1
+    hops = [e["hops"] for e in delivered if "hops" in e]
+    latencies = [e["latency"] for e in delivered if "latency" in e]
+    hottest = sorted(
+        router_events.items(), key=lambda item: (-item[1], item[0])
+    )[:5]
+    return {
+        "events": len(events),
+        "events_by_type": by_type,
+        "packets": len(packets),
+        "delivered": len(delivered),
+        "first_cycle": first_cycle,
+        "last_cycle": last_cycle,
+        "avg_hops": sum(hops) / len(hops) if hops else None,
+        "max_hops": max(hops) if hops else None,
+        "avg_latency_cycles": (
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+        "max_latency_cycles": max(latencies) if latencies else None,
+        "hottest_routers": hottest,
+    }
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Render :func:`summarize` output as printable text."""
+    lines = [
+        f"events           {summary['events']}",
+        f"packets          {summary['packets']} "
+        f"({summary['delivered']} delivered)",
+        f"cycle span       {summary['first_cycle']}..{summary['last_cycle']}",
+    ]
+    if summary["avg_hops"] is not None:
+        lines.append(
+            f"hops             avg {summary['avg_hops']:.2f}, "
+            f"max {summary['max_hops']}"
+        )
+    if summary["avg_latency_cycles"] is not None:
+        lines.append(
+            f"latency (cycles) avg {summary['avg_latency_cycles']:.2f}, "
+            f"max {summary['max_latency_cycles']}"
+        )
+    lines.append("events by type:")
+    for kind in sorted(summary["events_by_type"]):
+        lines.append(f"  {kind:<16} {summary['events_by_type'][kind]}")
+    if summary["hottest_routers"]:
+        hot = ", ".join(
+            f"r{router} ({count})"
+            for router, count in summary["hottest_routers"]
+        )
+        lines.append(f"hottest routers: {hot}")
+    return "\n".join(lines)
+
+
+def format_packet(events: List[dict], packet_id: int) -> str:
+    """Hop-by-hop listing of one packet's trace."""
+    mine = [e for e in events if e.get("packet_id") == packet_id]
+    if not mine:
+        return f"packet {packet_id}: not in trace"
+    lines = [f"packet {packet_id}: {len(mine)} events"]
+    for event in mine:
+        detail = ", ".join(
+            f"{k}={v}"
+            for k, v in event.items()
+            if k not in ("type", "cycle", "packet_id")
+        )
+        lines.append(f"  cycle {event['cycle']:>6}  {event['type']:<10} {detail}")
+    return "\n".join(lines)
+
+
+def to_chrome(events: List[dict]) -> Dict[str, object]:
+    """Convert JSONL events into a Chrome ``trace_event`` document."""
+    by_packet: Dict[int, List[dict]] = {}
+    for event in events:
+        pid = event.get("packet_id")
+        if pid is not None:
+            by_packet.setdefault(pid, []).append(event)
+    trace_events: List[dict] = []
+    for pid in sorted(by_packet):
+        mine = sorted(by_packet[pid], key=lambda e: e.get("cycle", 0))
+        trace_events.append(
+            {
+                "name": f"pkt{pid}",
+                "cat": "packet",
+                "ph": "B",
+                "ts": mine[0].get("cycle", 0),
+                "pid": 0,
+                "tid": pid,
+            }
+        )
+        for event in mine:
+            if event.get("type") == "link":
+                trace_events.append(
+                    {
+                        "name": (
+                            f"r{event.get('src_router')}"
+                            f"->r{event.get('dst_router')}"
+                        ),
+                        "cat": "hop",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": event.get("cycle", 0),
+                        "pid": 0,
+                        "tid": pid,
+                    }
+                )
+        trace_events.append(
+            {
+                "name": f"pkt{pid}",
+                "cat": "packet",
+                "ph": "E",
+                "ts": mine[-1].get("cycle", 0),
+                "pid": 0,
+                "tid": pid,
+            }
+        )
+    return {"traceEvents": trace_events, "otherData": {"time_unit": "cycle"}}
+
+
+def main(argv: List[str]) -> int:
+    args = list(argv)
+    chrome_out = None
+    packet_id = None
+    if "--chrome" in args:
+        index = args.index("--chrome")
+        if index + 1 >= len(args):
+            print("--chrome needs an output path", file=sys.stderr)
+            return 2
+        chrome_out = args[index + 1]
+        args = args[:index] + args[index + 2:]
+    if "--packet" in args:
+        index = args.index("--packet")
+        if index + 1 >= len(args):
+            print("--packet needs a packet id", file=sys.stderr)
+            return 2
+        try:
+            packet_id = int(args[index + 1])
+        except ValueError:
+            print(f"--packet needs an integer id, got {args[index + 1]!r}",
+                  file=sys.stderr)
+            return 2
+        args = args[:index] + args[index + 2:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        events = load_events(args[0])
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if packet_id is not None:
+        listing = format_packet(events, packet_id)
+        print(listing)
+        if listing.endswith("not in trace"):
+            return 1
+    else:
+        print(format_summary(summarize(events)))
+    if chrome_out is not None:
+        path = pathlib.Path(chrome_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            json.dump(to_chrome(events), handle)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,251 @@
+"""Windowed time-series telemetry for a running network.
+
+:class:`TimeSeriesSampler` turns the Figure 1 heat maps into *timelines*:
+it integrates per-router buffer occupancy and per-channel busy cycles over
+fixed-width windows of simulated cycles and records one
+:class:`WindowSample` per window.  In the default ``only_measured`` mode it
+accumulates exactly when :class:`~repro.noc.stats.NetworkStats` does (cycles
+with the measurement window open), so the time-average of its series equals
+the end-of-run ``buffer_utilization`` / ``link_utilization`` aggregates bit
+for bit -- the property the acceptance tests assert.
+
+Each window also carries delivery counts and the mean latency of measured
+packets delivered inside it, which makes saturation onset visible: past the
+knee, the per-window latency series diverges while throughput flattens.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.hooks import Observer
+
+LinkKey = Tuple[int, int]  # (src_router, src_port)
+
+
+@dataclass
+class WindowSample:
+    """Telemetry integrated over one sampling window."""
+
+    index: int
+    start_cycle: int
+    end_cycle: int  # last sampled cycle, inclusive
+    cycles: int
+    #: per-router sum over sampled cycles of occupied flit slots
+    occupancy: List[int]
+    #: (router, port) -> cycles in which the channel carried >= 1 flit
+    link_busy: Dict[LinkKey, int] = field(default_factory=dict)
+    deliveries: int = 0
+    flits_delivered: int = 0
+    latency_sum: int = 0
+    latency_count: int = 0
+
+    def buffer_utilization(self, router: int, capacity_flits: int) -> float:
+        """Fraction of ``router``'s buffer slots occupied, window average."""
+        if self.cycles == 0 or capacity_flits == 0:
+            return 0.0
+        return self.occupancy[router] / (self.cycles * capacity_flits)
+
+    def link_utilization(self, router: int, port: int) -> float:
+        """Fraction of window cycles the channel carried >= 1 flit."""
+        if self.cycles == 0:
+            return 0.0
+        return self.link_busy.get((router, port), 0) / self.cycles
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        """Mean latency of measured packets delivered in this window."""
+        if self.latency_count == 0:
+            return math.nan
+        return self.latency_sum / self.latency_count
+
+
+class TimeSeriesSampler(Observer):
+    """Observer recording windowed utilization/latency/throughput series.
+
+    Args:
+        network: the network being observed (read-only access to routers).
+        window: sampling window width in cycles.
+        only_measured: when True (default), accumulate only while the
+            network's measurement window is open, mirroring
+            :class:`~repro.noc.stats.NetworkStats` exactly; when False,
+            sample every cycle from attach onward.
+    """
+
+    def __init__(
+        self, network, window: int = 100, only_measured: bool = True
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.network = network
+        self.window = int(window)
+        self.only_measured = bool(only_measured)
+        self.windows: List[WindowSample] = []
+        self._num_routers = len(network.routers)
+        self._reset_accumulator()
+
+    # -- accumulation -------------------------------------------------------
+    def _reset_accumulator(self) -> None:
+        self._cycles = 0
+        self._start: Optional[int] = None
+        self._last = 0
+        self._occ = [0] * self._num_routers
+        self._busy: Dict[LinkKey, int] = {}
+        self._deliveries = 0
+        self._flits = 0
+        self._latency_sum = 0
+        self._latency_count = 0
+
+    def _flush(self) -> None:
+        if self._cycles == 0:
+            return
+        self.windows.append(
+            WindowSample(
+                index=len(self.windows),
+                start_cycle=self._start if self._start is not None else 0,
+                end_cycle=self._last,
+                cycles=self._cycles,
+                occupancy=list(self._occ),
+                link_busy=dict(self._busy),
+                deliveries=self._deliveries,
+                flits_delivered=self._flits,
+                latency_sum=self._latency_sum,
+                latency_count=self._latency_count,
+            )
+        )
+        self._reset_accumulator()
+
+    def finalize(self) -> "TimeSeriesSampler":
+        """Flush a partially filled window (call once the run is over)."""
+        self._flush()
+        return self
+
+    # -- hooks --------------------------------------------------------------
+    def on_link_busy(self, router_id: int, port: int, cycle: int) -> None:
+        if self.only_measured and not self.network.measuring:
+            return
+        key = (router_id, port)
+        self._busy[key] = self._busy.get(key, 0) + 1
+
+    def on_packet_delivered(self, packet, cycle: int) -> None:
+        if self.only_measured and not self.network.measuring:
+            return
+        self._deliveries += 1
+        self._flits += packet.num_flits
+        if packet.measured:
+            self._latency_sum += packet.received_at - packet.created_at
+            self._latency_count += 1
+
+    def on_cycle_end(self, cycle: int, measuring: bool) -> None:
+        if self.only_measured and not measuring:
+            # Close the final partial window when measurement ends.
+            if self._cycles:
+                self._flush()
+            return
+        if self._start is None:
+            self._start = cycle
+        occ = self._occ
+        for i, router in enumerate(self.network.routers):
+            occ[i] += router.occupied_flits
+        self._cycles += 1
+        self._last = cycle
+        if self._cycles >= self.window:
+            self._flush()
+
+    # -- derived series -----------------------------------------------------
+    def buffer_capacity(self, router: int) -> int:
+        return self.network.routers[router].activity.buffer_capacity_flits
+
+    def sampled_cycles(self) -> int:
+        """Total cycles integrated across all recorded windows."""
+        return sum(w.cycles for w in self.windows)
+
+    def buffer_utilization_series(
+        self, router: int
+    ) -> List[Tuple[int, float]]:
+        """[(window start cycle, buffer utilization), ...] for one router."""
+        cap = self.buffer_capacity(router)
+        return [
+            (w.start_cycle, w.buffer_utilization(router, cap))
+            for w in self.windows
+        ]
+
+    def link_utilization_series(
+        self, router: int, port: int
+    ) -> List[Tuple[int, float]]:
+        """[(window start cycle, link utilization), ...] for one channel."""
+        return [
+            (w.start_cycle, w.link_utilization(router, port))
+            for w in self.windows
+        ]
+
+    def latency_series(self) -> List[Tuple[int, float]]:
+        """[(window start cycle, mean measured latency), ...]."""
+        return [(w.start_cycle, w.avg_latency_cycles) for w in self.windows]
+
+    def throughput_series(
+        self, num_nodes: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """[(window start cycle, packets/node/cycle delivered), ...]."""
+        nodes = num_nodes or self.network.topology.num_nodes
+        return [
+            (
+                w.start_cycle,
+                w.deliveries / (w.cycles * nodes) if w.cycles else 0.0,
+            )
+            for w in self.windows
+        ]
+
+    # -- whole-run averages (must equal NetworkStats in only_measured mode) --
+    def time_average_buffer_utilization(self, router: int) -> float:
+        """Occupancy integral over all windows; equals
+        ``NetworkStats.buffer_utilization`` in ``only_measured`` mode."""
+        cycles = self.sampled_cycles()
+        cap = self.buffer_capacity(router)
+        if cycles == 0 or cap == 0:
+            return 0.0
+        total = sum(w.occupancy[router] for w in self.windows)
+        return total / (cycles * cap)
+
+    def time_average_link_utilization(self, router: int, port: int) -> float:
+        """Busy fraction over all windows; equals
+        ``NetworkStats.link_utilization`` in ``only_measured`` mode."""
+        cycles = self.sampled_cycles()
+        if cycles == 0:
+            return 0.0
+        busy = sum(w.link_busy.get((router, port), 0) for w in self.windows)
+        return busy / cycles
+
+    def link_keys(self) -> List[LinkKey]:
+        """Every channel observed busy at least once, sorted."""
+        keys = set()
+        for w in self.windows:
+            keys.update(w.link_busy)
+        return sorted(keys)
+
+    # -- diagnostics --------------------------------------------------------
+    def saturation_onset(
+        self, factor: float = 3.0, reference_windows: int = 1
+    ) -> Optional[int]:
+        """First window whose mean latency exceeds ``factor`` x the mean of
+        the first ``reference_windows`` windows; ``None`` if never.
+
+        A cheap knee detector for load sweeps: below saturation the series
+        is flat, past it queueing grows without bound window over window.
+        """
+        baseline_vals = [
+            w.avg_latency_cycles
+            for w in self.windows[:reference_windows]
+            if w.latency_count
+        ]
+        if not baseline_vals:
+            return None
+        baseline = sum(baseline_vals) / len(baseline_vals)
+        if baseline <= 0:
+            return None
+        for w in self.windows[reference_windows:]:
+            if w.latency_count and w.avg_latency_cycles > factor * baseline:
+                return w.index
+        return None

@@ -1,0 +1,355 @@
+"""Hop-by-hop packet tracing with JSONL and Chrome trace output.
+
+:class:`PacketTracer` follows selected packets through every hook the
+simulator fires and keeps an ordered event list per packet.  Traces export
+two ways:
+
+* **JSONL** (:meth:`PacketTracer.write_jsonl`): one JSON object per line,
+  each carrying ``packet_id``, ``type`` and ``cycle`` plus event-specific
+  fields.  The ``delivered`` record per packet summarizes hop count and the
+  latency decomposition endpoints, so a trace file is self-contained --
+  ``python -m repro.obs.replay trace.jsonl`` summarizes one.
+* **Chrome trace_event** (:meth:`PacketTracer.write_chrome_trace`): a JSON
+  document loadable in ``chrome://tracing`` / Perfetto, one timeline row
+  per packet (``tid`` = packet id, ``ts`` in simulated cycles).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.obs.hooks import Observer
+
+Selector = Union[str, Iterable[int], Callable[[object], bool]]
+
+
+class PacketTracer(Observer):
+    """Observer recording per-packet hop-by-hop event streams.
+
+    Args:
+        select: which packets to trace --
+
+            * ``"measured"`` (default): packets inside the measurement
+              window;
+            * ``"all"``: every packet offered to the network;
+            * an iterable of packet ids;
+            * a callable ``(packet) -> bool``.
+        max_packets: stop admitting *new* packets once this many are being
+            traced (already-admitted packets keep tracing to completion).
+    """
+
+    def __init__(
+        self, select: Selector = "measured", max_packets: Optional[int] = None
+    ) -> None:
+        if isinstance(select, str):
+            if select not in ("measured", "all"):
+                raise ValueError(
+                    f"select must be 'measured', 'all', ids or a callable; "
+                    f"got {select!r}"
+                )
+            self._select = select
+        elif callable(select):
+            self._select = select
+        else:
+            self._select = frozenset(int(p) for p in select)
+        self.max_packets = max_packets
+        self.traces: Dict[int, List[dict]] = {}
+        self.delivered: Dict[int, dict] = {}
+
+    # -- admission ----------------------------------------------------------
+    def _admit(self, packet) -> Optional[List[dict]]:
+        pid = packet.packet_id
+        events = self.traces.get(pid)
+        if events is not None:
+            return events
+        if self.max_packets is not None and len(self.traces) >= self.max_packets:
+            return None
+        select = self._select
+        if select == "measured":
+            wanted = packet.measured
+        elif select == "all":
+            wanted = True
+        elif callable(select):
+            wanted = bool(select(packet))
+        else:
+            wanted = pid in select
+        if not wanted:
+            return None
+        events = []
+        self.traces[pid] = events
+        return events
+
+    def _events_for(self, packet) -> Optional[List[dict]]:
+        return self.traces.get(packet.packet_id)
+
+    # -- hooks --------------------------------------------------------------
+    def on_packet_enqueued(self, packet, cycle: int) -> None:
+        events = self._admit(packet)
+        if events is None:
+            return
+        events.append(
+            {
+                "type": "enqueue",
+                "cycle": cycle,
+                "packet_id": packet.packet_id,
+                "src": packet.src,
+                "dst": packet.dst,
+                "num_flits": packet.num_flits,
+                "created_at": packet.created_at,
+                "packet_class": packet.packet_class,
+                "measured": packet.measured,
+            }
+        )
+
+    def on_flit_injected(
+        self, node: int, router_id: int, port: int, vc: int, flit, cycle: int
+    ) -> None:
+        events = self._events_for(flit.packet)
+        if events is None:
+            return
+        events.append(
+            {
+                "type": "inject",
+                "cycle": cycle,
+                "packet_id": flit.packet.packet_id,
+                "flit": flit.index,
+                "node": node,
+                "router": router_id,
+                "port": port,
+                "vc": vc,
+            }
+        )
+
+    def on_vc_allocated(
+        self,
+        router_id: int,
+        in_port: int,
+        in_vc: int,
+        out_port: int,
+        out_vc: int,
+        packet,
+        cycle: int,
+    ) -> None:
+        events = self._events_for(packet)
+        if events is None:
+            return
+        events.append(
+            {
+                "type": "vc_alloc",
+                "cycle": cycle,
+                "packet_id": packet.packet_id,
+                "router": router_id,
+                "in_port": in_port,
+                "in_vc": in_vc,
+                "out_port": out_port,
+                "out_vc": out_vc,
+            }
+        )
+
+    def on_switch_grant(self, router_id: int, grant, cycle: int) -> None:
+        packet = grant.flit.packet
+        events = self._events_for(packet)
+        if events is None:
+            return
+        events.append(
+            {
+                "type": "switch",
+                "cycle": cycle,
+                "packet_id": packet.packet_id,
+                "flit": grant.flit.index,
+                "router": router_id,
+                "in_port": grant.in_port,
+                "in_vc": grant.in_vc,
+                "out_port": grant.out_port,
+                "out_vc": grant.out_vc,
+                "merged": grant.merged,
+            }
+        )
+
+    def on_link_traversal(
+        self,
+        src_router: int,
+        src_port: int,
+        dst_router: int,
+        dst_port: int,
+        flit,
+        cycle: int,
+    ) -> None:
+        events = self._events_for(flit.packet)
+        if events is None:
+            return
+        events.append(
+            {
+                "type": "link",
+                "cycle": cycle,
+                "packet_id": flit.packet.packet_id,
+                "flit": flit.index,
+                "head": flit.is_head,
+                "src_router": src_router,
+                "src_port": src_port,
+                "dst_router": dst_router,
+                "dst_port": dst_port,
+            }
+        )
+
+    def on_flit_ejected(
+        self, router_id: int, port: int, flit, cycle: int
+    ) -> None:
+        events = self._events_for(flit.packet)
+        if events is None:
+            return
+        events.append(
+            {
+                "type": "eject",
+                "cycle": cycle,
+                "packet_id": flit.packet.packet_id,
+                "flit": flit.index,
+                "router": router_id,
+                "port": port,
+            }
+        )
+
+    def on_packet_delivered(self, packet, cycle: int) -> None:
+        events = self._events_for(packet)
+        if events is None:
+            return
+        record = {
+            "type": "delivered",
+            "cycle": cycle,
+            "packet_id": packet.packet_id,
+            "hops": packet.hops,
+            "latency": packet.received_at - packet.created_at,
+            "queuing": (
+                packet.injected_at - packet.created_at
+                if packet.injected_at is not None
+                else None
+            ),
+            "num_flits": packet.num_flits,
+        }
+        events.append(record)
+        self.delivered[packet.packet_id] = record
+
+    # -- queries ------------------------------------------------------------
+    def trace(self, packet_id: int) -> List[dict]:
+        """The ordered event list of one traced packet."""
+        return self.traces.get(packet_id, [])
+
+    def hop_count(self, packet_id: int) -> int:
+        """Inter-router hops taken by the head flit (matches
+        ``LatencyRecord.hops``)."""
+        return sum(
+            1
+            for event in self.traces.get(packet_id, [])
+            if event["type"] == "link" and event["head"]
+        )
+
+    def total_latency(self, packet_id: int) -> Optional[int]:
+        """Creation-to-ejection cycles (matches ``LatencyRecord.total``);
+        ``None`` while the packet is still in flight."""
+        record = self.delivered.get(packet_id)
+        return None if record is None else record["latency"]
+
+    def iter_events(self):
+        """All events of all traced packets, ordered by packet then time."""
+        for pid in sorted(self.traces):
+            yield from self.traces[pid]
+
+    # -- export -------------------------------------------------------------
+    def write_jsonl(self, path) -> pathlib.Path:
+        """Write one JSON object per line; returns the path written."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for event in self.iter_events():
+                handle.write(json.dumps(event, separators=(",", ":")))
+                handle.write("\n")
+        return path
+
+    def chrome_trace_events(self) -> List[dict]:
+        """Trace in Chrome ``trace_event`` form (``ts`` = simulated cycle).
+
+        Each packet becomes one timeline row: a ``B``/``E`` duration pair
+        spanning enqueue to delivery, with instant events for every VC
+        allocation and link traversal in between.
+        """
+        out: List[dict] = []
+        for pid in sorted(self.traces):
+            events = self.traces[pid]
+            if not events:
+                continue
+            first = events[0]
+            name = f"pkt{pid}"
+            if first["type"] == "enqueue":
+                name = f"pkt{pid} {first['src']}->{first['dst']}"
+            out.append(
+                {
+                    "name": name,
+                    "cat": "packet",
+                    "ph": "B",
+                    "ts": events[0]["cycle"],
+                    "pid": 0,
+                    "tid": pid,
+                    "args": {k: v for k, v in first.items() if k != "type"},
+                }
+            )
+            end_cycle = events[-1]["cycle"]
+            for event in events:
+                kind = event["type"]
+                if kind == "link":
+                    out.append(
+                        {
+                            "name": (
+                                f"r{event['src_router']}"
+                                f"->r{event['dst_router']}"
+                            ),
+                            "cat": "hop",
+                            "ph": "i",
+                            "s": "t",
+                            "ts": event["cycle"],
+                            "pid": 0,
+                            "tid": pid,
+                        }
+                    )
+                elif kind == "vc_alloc":
+                    out.append(
+                        {
+                            "name": (
+                                f"VA r{event['router']} "
+                                f"p{event['out_port']}v{event['out_vc']}"
+                            ),
+                            "cat": "va",
+                            "ph": "i",
+                            "s": "t",
+                            "ts": event["cycle"],
+                            "pid": 0,
+                            "tid": pid,
+                        }
+                    )
+                elif kind == "delivered":
+                    end_cycle = event["cycle"]
+            out.append(
+                {
+                    "name": name,
+                    "cat": "packet",
+                    "ph": "E",
+                    "ts": end_cycle,
+                    "pid": 0,
+                    "tid": pid,
+                }
+            )
+        return out
+
+    def write_chrome_trace(self, path) -> pathlib.Path:
+        """Write a ``chrome://tracing``-loadable JSON document."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "traceEvents": self.chrome_trace_events(),
+            "displayTimeUnit": "ns",
+            "otherData": {"time_unit": "cycle"},
+        }
+        with path.open("w") as handle:
+            json.dump(document, handle)
+        return path

@@ -9,15 +9,23 @@ delivery inside the measurement window.
 The paper warms up with 1,000 packets and measures 100,000; a pure-Python
 cycle simulator makes that expensive, so the defaults here are smaller and
 every experiment harness exposes the knobs.
+
+Observability (see :mod:`repro.obs`): pass ``observer=`` to attach event
+hooks for the duration of the run, ``profiler=`` to collect wall-clock
+phase timings and cycles/second, and ``progress=`` to receive periodic
+:class:`~repro.obs.profiler.Progress` heartbeats with ETA estimates.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
+from repro.obs.profiler import Progress, RunProfiler
 from repro.traffic.patterns import TrafficPattern
 from repro.traffic.selfsimilar import BernoulliInjector
 
@@ -32,6 +40,10 @@ class SyntheticRunResult:
     measured_packets: int
     total_cycles: int
     saturated: bool
+    #: measured packets still in flight when the drain hit its cycle cap
+    #: (0 unless ``saturated``); their latency records are missing from
+    #: ``stats.records``, so the recorded population is survivorship-biased.
+    unfinished_measured_packets: int = 0
 
     @property
     def avg_latency_cycles(self) -> float:
@@ -54,6 +66,10 @@ def run_synthetic(
     seed: int = 1,
     injector=None,
     drain_cycle_cap: int = 400_000,
+    observer=None,
+    profiler: Optional[RunProfiler] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
+    progress_every: int = 2000,
 ) -> SyntheticRunResult:
     """Drive ``network`` with an open-loop synthetic load.
 
@@ -68,11 +84,22 @@ def run_synthetic(
             ``fires(node, rng) -> bool`` method; defaults to Bernoulli at
             ``rate``.
         drain_cycle_cap: safety bound on post-measurement drain cycles.
+        observer: optional :class:`repro.obs.hooks.Observer` attached to
+            the network for the duration of the run (left attached after).
+        profiler: optional :class:`repro.obs.profiler.RunProfiler`;
+            attaches phase timing to the step loop and records the
+            warmup/measure/drain wall-clock split.
+        progress: optional callback receiving a
+            :class:`~repro.obs.profiler.Progress` heartbeat every
+            ``progress_every`` cycles.
+        progress_every: heartbeat period in simulated cycles.
 
     Returns a :class:`SyntheticRunResult`; ``saturated`` is set when the
     drain phase hit its cycle cap, meaning the offered load exceeded the
     network's capacity (latency numbers are then unbounded-queue artefacts
-    and only throughput is meaningful).
+    and only throughput is meaningful).  In that case
+    ``unfinished_measured_packets`` counts the measured packets whose
+    records are missing, rather than silently truncating the sample.
     """
     if rate <= 0:
         raise ValueError(f"rate must be positive, got {rate}")
@@ -80,6 +107,25 @@ def run_synthetic(
     injector = injector or BernoulliInjector(rate)
     created = 0
     target = warmup_packets + measure_packets
+    started_at = time.perf_counter()
+
+    if observer is not None:
+        network.attach_observer(observer)
+    if profiler is not None:
+        network.profiler = profiler
+        profiler.start()
+        profiler.enter_run_phase("warmup")
+
+    def _heartbeat(phase: str, done: int, phase_target: int) -> None:
+        progress(
+            Progress(
+                phase=phase,
+                cycle=network.cycle,
+                done=done,
+                target=phase_target,
+                elapsed_s=time.perf_counter() - started_at,
+            )
+        )
 
     network.reset_stats()
     while created < target:
@@ -94,15 +140,22 @@ def run_synthetic(
                 packet.measured = True
                 if not network.measuring:
                     network.begin_measurement()
+                    if profiler is not None:
+                        profiler.enter_run_phase("measure")
             network.enqueue(packet)
             created += 1
         network.step()
+        if progress is not None and network.cycle % progress_every == 0:
+            phase = "measure" if network.measuring else "warmup"
+            _heartbeat(phase, created, target)
 
     # Measurement window closes once the last measured packet is created.
     network.end_measurement()
 
     # Drain: keep offering load so measured packets experience steady-state
     # contention on their way out.
+    if profiler is not None:
+        profiler.enter_run_phase("drain")
     drain_deadline = network.cycle + drain_cycle_cap
     saturated = False
     while len(network.stats.records) < measure_packets:
@@ -115,12 +168,29 @@ def run_synthetic(
                     network.make_packet(node, pattern.destination(node, rng))
                 )
         network.step()
+        if progress is not None and network.cycle % progress_every == 0:
+            _heartbeat("drain", len(network.stats.records), measure_packets)
+
+    stats = network.stats
+    unfinished = 0
+    if saturated:
+        # The drain gave up with measured packets still inside the network
+        # (or its source queues); report how many records are missing
+        # instead of silently truncating the latency sample.
+        unfinished = stats.packets_offered - len(stats.records)
+        stats.saturated = True
+        if network.obs is not None:
+            network.obs.on_drain_truncated(unfinished, network.cycle)
+
+    if profiler is not None:
+        profiler.stop()
 
     return SyntheticRunResult(
-        stats=network.stats,
+        stats=stats,
         offered_rate=rate,
         warmup_packets=warmup_packets,
-        measured_packets=len(network.stats.records),
+        measured_packets=len(stats.records),
         total_cycles=network.cycle,
         saturated=saturated,
+        unfinished_measured_packets=unfinished,
     )

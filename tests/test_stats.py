@@ -1,8 +1,15 @@
 """Unit tests for statistics collection."""
 
-import pytest
+import math
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layouts import baseline_layout, build_network
 from repro.noc.stats import LatencyRecord, NetworkStats, RouterActivity
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.runner import run_synthetic
 
 
 def _record(packet_id=0, total=20, queuing=2, transfer=15, **kwargs):
@@ -88,6 +95,14 @@ class TestNetworkStats:
         with pytest.raises(ValueError):
             stats.latency_percentile(1.5)
 
+    def test_percentile_zero_is_minimum(self):
+        stats = self._stats_with_records([70, 10, 40])
+        assert stats.latency_percentile(0.0) == pytest.approx(10.0)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            NetworkStats(4, 4).latency_percentile(0.5)
+
     def test_std(self):
         stats = self._stats_with_records([20, 40])
         assert stats.latency_std_cycles() == pytest.approx(10.0)
@@ -131,4 +146,94 @@ class TestNetworkStats:
             "avg_latency_cycles",
             "avg_latency_ns",
             "throughput_packets_per_node_cycle",
+            "p95_latency_cycles",
+            "p99_latency_cycles",
+            "measured_packets",
+            "saturated",
         }
+        assert summary["measured_packets"] == 1.0
+        assert summary["saturated"] is False
+
+    def test_summary_percentiles(self):
+        stats = self._stats_with_records(list(range(10, 1010, 10)))
+        summary = stats.summary()
+        assert summary["p95_latency_cycles"] == pytest.approx(950.0)
+        assert summary["p99_latency_cycles"] == pytest.approx(990.0)
+
+    def test_summary_empty_window_is_nan_not_raise(self):
+        stats = NetworkStats(4, 4)
+        stats.saturated = True
+        summary = stats.summary()
+        assert summary["measured_packets"] == 0.0
+        assert summary["saturated"] is True
+        for key in (
+            "avg_latency_cycles",
+            "avg_latency_ns",
+            "avg_queuing_cycles",
+            "avg_blocking_cycles",
+            "avg_transfer_cycles",
+            "avg_hops",
+            "p95_latency_cycles",
+            "p99_latency_cycles",
+            "throughput_packets_per_node_cycle",
+        ):
+            assert math.isnan(summary[key]), key
+
+    def test_summary_of_saturated_run_does_not_crash(self):
+        network = build_network(baseline_layout(4))
+        result = run_synthetic(
+            network, UniformRandom(16), rate=0.5,
+            warmup_packets=10, measure_packets=200, seed=3,
+            drain_cycle_cap=100,
+        )
+        assert result.saturated
+        summary = result.stats.summary()
+        assert summary["saturated"] is True
+        assert summary["measured_packets"] == float(len(result.stats.records))
+
+
+class TestStatisticalProperties:
+    """Property-style invariants under random traffic."""
+
+    @staticmethod
+    def _run(seed: int, rate: float):
+        network = build_network(baseline_layout(4))
+        result = run_synthetic(
+            network, UniformRandom(16), rate=rate,
+            warmup_packets=20, measure_packets=80, seed=seed,
+            drain_cycle_cap=30_000,
+        )
+        return network, result
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.floats(min_value=0.01, max_value=0.10),
+    )
+    def test_latency_decomposition_invariant(self, seed, rate):
+        _, result = self._run(seed, rate)
+        assert result.stats.records
+        for record in result.stats.records:
+            assert record.total == (
+                record.queuing + record.transfer + record.blocking
+            )
+            assert record.queuing >= 0
+            assert record.transfer > 0
+            assert record.blocking >= 0
+            assert record.hops >= 0
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rate=st.floats(min_value=0.01, max_value=0.10),
+    )
+    def test_utilization_bounds(self, seed, rate):
+        network, result = self._run(seed, rate)
+        stats = result.stats
+        for router in range(network.topology.num_routers):
+            assert 0.0 <= stats.buffer_utilization(router) <= 1.0
+        for router, port in stats.link_lanes:
+            assert 0.0 <= stats.link_utilization(router, port) <= 1.0
+        for router in range(network.topology.num_routers):
+            n_ports = network.topology.num_ports(router)
+            assert 0.0 <= stats.router_link_utilization(router, n_ports) <= 1.0
