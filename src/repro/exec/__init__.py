@@ -1,0 +1,39 @@
+"""Parallel sweep execution with deterministic result caching.
+
+The package turns "run this list of independent simulations" into a
+first-class operation:
+
+* :class:`SweepPoint` -- a picklable, content-hashable spec of one run;
+* :func:`execute_point` -- run one spec from scratch, deterministically
+  (packet ids rewound per point);
+* :func:`run_sweep` -- execute many specs through a ``serial`` or
+  ``process`` backend, short-circuiting through a :class:`ResultCache`;
+* :func:`configure` -- process-wide defaults (``--jobs``/``--no-cache``
+  in ``run_all``, ``REPRO_JOBS``/``REPRO_SWEEP_CACHE`` in CI).
+
+The contract the test suite pins: for a given spec, serial execution,
+process execution and a cache hit all yield the same
+:class:`PointResult`, bit for bit.
+"""
+
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.engine import ExecDefaults, configure, run_sweep, sweep_points
+from repro.exec.point import (
+    SPEC_VERSION,
+    PointResult,
+    SweepPoint,
+    execute_point,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "ExecDefaults",
+    "PointResult",
+    "ResultCache",
+    "SweepPoint",
+    "configure",
+    "default_cache_dir",
+    "execute_point",
+    "run_sweep",
+    "sweep_points",
+]

@@ -1,0 +1,100 @@
+"""Disk cache for completed sweep-point results.
+
+One JSON file per point, named by the spec's content hash
+(:meth:`repro.exec.point.SweepPoint.key`), holding the spec it was
+computed from, the result payload and a version tag.  Because the key
+covers every spec field, changing *anything* -- rate, seed, layout,
+measurement scale -- selects a different file; stale entries are simply
+never read again.
+
+Robustness contract (pinned by tests): a missing, truncated, corrupt or
+version-mismatched entry is treated as a miss -- the offending file is
+discarded and the point recomputes -- never an exception.  Writes go
+through a temporary file and :func:`os.replace` so a crashed run leaves
+either the old entry or a complete new one, which is what lets an
+interrupted ``run_all --full`` resume instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Optional, Union
+
+from repro.exec.point import SPEC_VERSION, PointResult, SweepPoint
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Where sweep results live unless the caller says otherwise.
+
+    ``REPRO_SWEEP_CACHE`` overrides; the fallback follows the XDG cache
+    convention.
+    """
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env:
+        return pathlib.Path(env).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join("~", ".cache")
+    return pathlib.Path(base).expanduser() / "repro-heteronoc" / "sweeps"
+
+
+class ResultCache:
+    """Content-addressed store of :class:`PointResult` payloads."""
+
+    def __init__(self, directory: Union[str, pathlib.Path, None] = None) -> None:
+        self.directory = (
+            pathlib.Path(directory).expanduser()
+            if directory is not None
+            else default_cache_dir()
+        )
+
+    def path_for(self, point: SweepPoint) -> pathlib.Path:
+        return self.directory / f"{point.key()}.json"
+
+    def get(self, point: SweepPoint) -> Optional[PointResult]:
+        """The cached result for ``point``, or ``None`` on any miss."""
+        path = self.path_for(point)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self._discard(path)
+            return None
+        try:
+            payload = json.loads(raw)
+            if payload["version"] != SPEC_VERSION:
+                raise ValueError("cache version mismatch")
+            if payload["spec"] != point.spec_dict():
+                # Hash collision or a hand-edited file: distrust it.
+                raise ValueError("cached spec does not match")
+            return PointResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self._discard(path)
+            return None
+
+    def put(self, point: SweepPoint, result: PointResult) -> pathlib.Path:
+        """Persist ``result`` atomically; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(point)
+        payload = {
+            "version": SPEC_VERSION,
+            "spec": point.spec_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def _discard(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob("*.json"))
+        except OSError:
+            return 0

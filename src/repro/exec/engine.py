@@ -1,0 +1,219 @@
+"""The sweep-execution engine: fan sweep points out, cache what completes.
+
+The experiment harnesses describe their work as lists of
+:class:`~repro.exec.point.SweepPoint` specs and hand them to
+:func:`run_sweep`, which returns one :class:`~repro.exec.point.PointResult`
+per point *in input order*.  Three orthogonal choices:
+
+* **backend** -- ``"serial"`` executes in-process (today's behaviour);
+  ``"process"`` fans the cache misses out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Every point carries
+  its own seed and builds its own network worker-side, and
+  :func:`~repro.exec.point.execute_point` rewinds the packet-id counter
+  first, so the two backends are bit-identical (the golden-run tests
+  assert this).
+* **cache** -- a :class:`~repro.exec.cache.ResultCache` (or a directory
+  path) short-circuits already-computed points, so re-running ``run_all``
+  or a crashed ``--full`` sweep resumes instead of recomputing.
+* **progress** -- a callback receiving
+  :class:`~repro.obs.profiler.Progress` heartbeats (phase ``"sweep"``)
+  as points complete; :func:`repro.obs.profiler.make_progress_printer`
+  plugs in directly.
+
+Process-wide defaults come from :func:`configure` or the environment
+(``REPRO_JOBS``, ``REPRO_SWEEP_CACHE``), so harnesses can stay ignorant
+of parallelism while ``run_all --jobs N`` turns it on globally.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.exec.cache import ResultCache
+from repro.exec.point import PointResult, SweepPoint, execute_point
+from repro.obs.profiler import Progress
+
+_UNSET = object()
+
+
+@dataclass
+class ExecDefaults:
+    """Process-wide defaults applied when :func:`run_sweep` callers omit
+    the corresponding argument."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    progress: Optional[Callable[[Progress], None]] = None
+
+
+def _defaults_from_env() -> ExecDefaults:
+    jobs = 1
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        try:
+            jobs = max(1, int(raw))
+        except ValueError:
+            jobs = 1
+    return ExecDefaults(jobs=jobs, cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None)
+
+
+_defaults = _defaults_from_env()
+
+
+def configure(
+    jobs: Optional[int] = None,
+    cache_dir: object = _UNSET,
+    progress: object = _UNSET,
+) -> ExecDefaults:
+    """Set engine-wide defaults; omitted arguments keep their value.
+
+    ``cache_dir=None`` explicitly disables caching; a string/path enables
+    it at that directory.  Returns the resulting defaults (also handy for
+    tests to snapshot/restore).
+    """
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        _defaults.jobs = jobs
+    if cache_dir is not _UNSET:
+        _defaults.cache_dir = str(cache_dir) if cache_dir is not None else None
+    if progress is not _UNSET:
+        _defaults.progress = progress
+    return _defaults
+
+
+def _resolve_cache(cache: object) -> Optional[ResultCache]:
+    if cache is _UNSET:
+        if _defaults.cache_dir is None:
+            return None
+        return ResultCache(_defaults.cache_dir)
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    cache: Union[ResultCache, str, None, object] = _UNSET,
+    progress: object = _UNSET,
+) -> List[PointResult]:
+    """Execute every point, returning results in input order.
+
+    Args:
+        points: the sweep, as self-contained specs.
+        jobs: worker count; defaults to :func:`configure`'s value (or
+            ``REPRO_JOBS``).  ``jobs > 1`` implies the process backend.
+        backend: ``"serial"`` or ``"process"``; inferred from ``jobs``
+            when omitted.
+        cache: a :class:`ResultCache`, a directory path, or ``None`` to
+            disable; defaults to the configured cache directory.
+        progress: callback for :class:`Progress` heartbeats (one per
+            completed point; ``done`` counts points, and cached hits are
+            counted immediately).
+
+    Cached results come back with ``from_cache=True`` and cost zero
+    simulation cycles; everything else executes and is written back to
+    the cache before returning.
+    """
+    points = list(points)
+    jobs = jobs if jobs is not None else _defaults.jobs
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend is None:
+        backend = "process" if jobs > 1 else "serial"
+    if backend not in ("serial", "process"):
+        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    resolved_cache = _resolve_cache(cache)
+    heartbeat = _defaults.progress if progress is _UNSET else progress
+
+    started = time.perf_counter()
+    done = 0
+
+    def _tick(point: SweepPoint) -> None:
+        nonlocal done
+        done += 1
+        if heartbeat is not None:
+            heartbeat(
+                Progress(
+                    phase="sweep",
+                    cycle=0,
+                    done=done,
+                    target=len(points),
+                    elapsed_s=time.perf_counter() - started,
+                )
+            )
+
+    results: List[Optional[PointResult]] = [None] * len(points)
+    pending: List[int] = []
+    for index, point in enumerate(points):
+        hit = resolved_cache.get(point) if resolved_cache is not None else None
+        if hit is not None:
+            hit.from_cache = True
+            results[index] = hit
+            _tick(point)
+        else:
+            pending.append(index)
+
+    if backend == "serial" or len(pending) <= 1:
+        for index in pending:
+            result = execute_point(points[index])
+            if resolved_cache is not None:
+                resolved_cache.put(points[index], result)
+            results[index] = result
+            _tick(points[index])
+    elif pending:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_point, points[index]): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                if resolved_cache is not None:
+                    resolved_cache.put(points[index], result)
+                results[index] = result
+                _tick(points[index])
+    return results  # type: ignore[return-value]
+
+
+def sweep_points(
+    layouts: Sequence[str],
+    pattern: str,
+    rates: Sequence[float],
+    *,
+    seed: int = 11,
+    warmup_packets: int = 200,
+    measure_packets: int = 2000,
+    flit_mode: str = "paper",
+    mesh_size: int = 8,
+    topology: str = "mesh",
+) -> List[SweepPoint]:
+    """The common sweep shape: layouts x rates, one point each.
+
+    Points are ordered layout-major (all rates of the first layout, then
+    the next), which callers rely on to regroup results into per-layout
+    curves.
+    """
+    return [
+        SweepPoint(
+            layout=layout,
+            mesh_size=mesh_size,
+            topology=topology,
+            flit_mode=flit_mode,
+            pattern=pattern,
+            rate=rate,
+            seed=seed,
+            warmup_packets=warmup_packets,
+            measure_packets=measure_packets,
+        )
+        for layout in layouts
+        for rate in rates
+    ]

@@ -1,0 +1,284 @@
+"""Self-contained sweep-point specifications and their results.
+
+A :class:`SweepPoint` captures *everything* one load-latency sample needs
+-- network construction (layout or raw topology), traffic pattern,
+injection process, offered rate, seed and measurement knobs -- as a
+frozen, picklable value object.  Because the spec is self-contained, a
+point can execute anywhere: in-process, in a worker of a
+:class:`concurrent.futures.ProcessPoolExecutor`, or not at all when a
+:class:`repro.exec.cache.ResultCache` already holds its result.
+
+Determinism contract: :func:`execute_point` rewinds the global packet-id
+counter before building the network, so the same spec produces the same
+:class:`PointResult` -- bit for bit, packet ids included -- regardless of
+what else the process simulated before, and therefore regardless of the
+backend the engine used.  The golden-run tests pin this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+#: bump when the spec schema or simulator semantics change in a way that
+#: invalidates previously cached results.
+SPEC_VERSION = 1
+
+_TOPOLOGIES = ("mesh", "torus", "cmesh", "fbfly")
+_INJECTORS = ("bernoulli", "self_similar")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent sample of a load-latency sweep.
+
+    Network selection (three mutually exclusive shapes):
+
+    * ``layout`` -- a named paper configuration
+      (:func:`repro.core.layouts.layout_by_name`) on a ``mesh`` or
+      ``torus`` topology;
+    * ``big_positions`` (with ``layout=None``) -- a custom heterogeneous
+      placement (:func:`repro.core.layouts.custom_layout`);
+    * ``topology`` in ``{"cmesh", "fbfly"}`` -- a homogeneous
+      generic-router network on a concentrated topology (the Figure 2
+      study), ignoring the layout machinery entirely.
+    """
+
+    layout: Optional[str] = "baseline"
+    big_positions: Optional[Tuple[int, ...]] = None
+    redistribute_links: bool = True
+    mesh_size: int = 8
+    topology: str = "mesh"
+    concentration: int = 4
+    flit_mode: str = "paper"
+    flit_merging: Optional[bool] = None
+    pattern: str = "uniform_random"
+    injector: str = "bernoulli"
+    rate: float = 0.05
+    seed: int = 1
+    warmup_packets: int = 200
+    measure_packets: int = 2000
+    drain_cycle_cap: int = 400_000
+
+    def __post_init__(self) -> None:
+        if self.topology not in _TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {_TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.injector not in _INJECTORS:
+            raise ValueError(
+                f"injector must be one of {_INJECTORS}, got {self.injector!r}"
+            )
+        if self.layout is not None and self.big_positions is not None:
+            raise ValueError("give either a named layout or big_positions, not both")
+        if self.topology in ("cmesh", "fbfly") and (
+            self.big_positions is not None or self.layout not in (None, "baseline")
+        ):
+            raise ValueError(
+                f"{self.topology} networks are homogeneous; layouts do not apply"
+            )
+        if self.big_positions is not None:
+            # Canonical order so that equal placements hash equally.
+            object.__setattr__(
+                self, "big_positions", tuple(sorted(self.big_positions))
+            )
+
+    # -- identity -------------------------------------------------------------
+    def spec_dict(self) -> Dict[str, object]:
+        """The spec as a plain JSON-able dict (canonical field order)."""
+        spec = asdict(self)
+        if spec["big_positions"] is not None:
+            spec["big_positions"] = list(spec["big_positions"])
+        return spec
+
+    def key(self) -> str:
+        """Content hash identifying this spec (stable across processes).
+
+        Any field change -- rate, seed, measurement scale, placement --
+        yields a different key; the cache layer uses it as the filename.
+        """
+        payload = {"version": SPEC_VERSION, "spec": self.spec_dict()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        name = self.layout if self.layout is not None else (
+            f"custom[{len(self.big_positions or ())}]"
+        )
+        if self.topology != "mesh":
+            name = f"{name}@{self.topology}"
+        return f"{name}/{self.pattern}@{self.rate:g}"
+
+    # -- construction ---------------------------------------------------------
+    def build_network(self):
+        """Instantiate a fresh simulator network for this spec."""
+        # Imports stay local so that a SweepPoint pickles cheaply and the
+        # worker side pays the import cost once per process.
+        from repro.noc.topology import (
+            ConcentratedMesh,
+            FlattenedButterfly,
+            Mesh,
+            Torus,
+        )
+
+        if self.topology in ("cmesh", "fbfly"):
+            from repro.noc.config import RouterConfig
+            from repro.noc.network import Network
+
+            topo_cls = ConcentratedMesh if self.topology == "cmesh" else FlattenedButterfly
+            topo = topo_cls(self.mesh_size, concentration=self.concentration)
+            configs = {rid: RouterConfig() for rid in range(topo.num_routers)}
+            return Network(topo, configs)
+
+        from repro.core.layouts import build_network, custom_layout, layout_by_name
+
+        if self.layout is not None:
+            layout = layout_by_name(self.layout, self.mesh_size)
+        else:
+            layout = custom_layout(
+                f"custom-{len(self.big_positions)}",
+                set(self.big_positions),
+                mesh_size=self.mesh_size,
+                redistribute_links=self.redistribute_links,
+            )
+        topology = (Torus if self.topology == "torus" else Mesh)(self.mesh_size)
+        overrides = {}
+        if self.flit_merging is not None:
+            overrides["flit_merging"] = self.flit_merging
+        return build_network(
+            layout, topology=topology, flit_mode=self.flit_mode, **overrides
+        )
+
+    def build_injector(self, num_nodes: int):
+        """The injection process, or ``None`` for the Bernoulli default."""
+        if self.injector == "self_similar":
+            from repro.traffic.selfsimilar import SelfSimilarInjector
+
+            return SelfSimilarInjector(num_nodes, self.rate, seed=self.seed)
+        return None
+
+
+@dataclass
+class PointResult:
+    """Everything a harness needs from one executed point.
+
+    Deliberately *not* the live :class:`~repro.noc.network.Network` or
+    :class:`~repro.noc.stats.NetworkStats`: results must cross process
+    boundaries and round-trip through the JSON cache, so only plain
+    scalars and lists appear here.  The integer checksums
+    (``latency_sum_cycles``, ``hops_sum``, ``packet_id_sum``) exist for
+    exact golden-run comparisons where float formatting would be lossy.
+    """
+
+    key: str
+    label: str
+    rate: float
+    seed: int
+    frequency_ghz: float
+    latency_cycles: float
+    latency_ns: float
+    queuing_cycles: float
+    blocking_cycles: float
+    transfer_cycles: float
+    avg_hops: float
+    p95_latency_cycles: float
+    p99_latency_cycles: float
+    latency_sum_cycles: int
+    hops_sum: int
+    packet_id_sum: int
+    throughput: float
+    measured_packets: int
+    total_cycles: int
+    saturated: bool
+    unfinished_measured_packets: int
+    power_w: float
+    power_breakdown: Dict[str, float]
+    merge_fraction: float
+    buffer_utilization: List[float]
+    link_utilization: List[float]
+    #: set by the engine when this result came from the disk cache rather
+    #: than a simulation; never serialized.
+    from_cache: bool = field(default=False, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload.pop("from_cache")
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PointResult":
+        expected = {f.name for f in fields(cls)} - {"from_cache"}
+        if set(payload) != expected:
+            raise ValueError(
+                f"result payload fields {sorted(set(payload))} do not match "
+                f"{sorted(expected)}"
+            )
+        return cls(**payload)
+
+
+def execute_point(point: SweepPoint) -> PointResult:
+    """Run one sweep point from scratch and summarize it.
+
+    This is the unit of work the engine ships to pool workers, so it must
+    stay a module-level (picklable) function.
+    """
+    from repro.core.merging import merge_report
+    from repro.core.power import network_power_breakdown
+    from repro.noc.flit import reset_packet_ids
+    from repro.traffic.patterns import pattern_by_name
+    from repro.traffic.runner import run_synthetic
+
+    reset_packet_ids()
+    network = point.build_network()
+    pattern = pattern_by_name(point.pattern, network.topology)
+    result = run_synthetic(
+        network,
+        pattern,
+        point.rate,
+        warmup_packets=point.warmup_packets,
+        measure_packets=point.measure_packets,
+        seed=point.seed,
+        injector=point.build_injector(network.topology.num_nodes),
+        drain_cycle_cap=point.drain_cycle_cap,
+    )
+    stats = result.stats
+    power = network_power_breakdown(network, stats)
+    summary = stats.summary(network.config.frequency_ghz)
+    records = stats.records
+    num_ports = network.topology.num_ports
+    return PointResult(
+        key=point.key(),
+        label=point.label,
+        rate=point.rate,
+        seed=point.seed,
+        frequency_ghz=network.config.frequency_ghz,
+        latency_cycles=summary["avg_latency_cycles"],
+        latency_ns=summary["avg_latency_ns"],
+        queuing_cycles=summary["avg_queuing_cycles"],
+        blocking_cycles=summary["avg_blocking_cycles"],
+        transfer_cycles=summary["avg_transfer_cycles"],
+        avg_hops=summary["avg_hops"],
+        p95_latency_cycles=summary["p95_latency_cycles"],
+        p99_latency_cycles=summary["p99_latency_cycles"],
+        latency_sum_cycles=sum(r.total for r in records),
+        hops_sum=sum(r.hops for r in records),
+        packet_id_sum=sum(r.packet_id for r in records),
+        throughput=summary["throughput_packets_per_node_cycle"],
+        measured_packets=len(records),
+        total_cycles=result.total_cycles,
+        saturated=result.saturated,
+        unfinished_measured_packets=result.unfinished_measured_packets,
+        power_w=power["total"],
+        power_breakdown={k: float(v) for k, v in power.items()},
+        merge_fraction=merge_report(network, stats).merge_fraction,
+        buffer_utilization=[
+            stats.buffer_utilization(rid) for rid in range(network.topology.num_routers)
+        ],
+        link_utilization=[
+            stats.router_link_utilization(rid, num_ports(rid))
+            for rid in range(network.topology.num_routers)
+        ],
+    )

@@ -18,16 +18,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.layouts import (
-    build_network,
-    custom_layout,
-    layout_by_name,
-)
-from repro.core.merging import merge_report
-from repro.core.power import network_power_breakdown
+from repro.exec import SweepPoint, run_sweep
 from repro.experiments.common import measurement_scale, format_table
-from repro.traffic.patterns import UniformRandom
-from repro.traffic.runner import run_synthetic
 
 
 def _scattered_positions(n: int, num_big: int = None) -> set:
@@ -51,43 +43,39 @@ def run(
     seed: int = 11,
 ) -> Dict[str, Dict[str, float]]:
     scale = measurement_scale(fast)
-    variants = {}
-
-    def measure(name, network, frequency):
-        result = run_synthetic(
-            network, UniformRandom(network.topology.num_nodes), rate,
-            seed=seed, **scale,
-        )
-        power = network_power_breakdown(network, result.stats)
-        variants[name] = {
-            "latency_cycles": result.stats.avg_latency_cycles,
-            "latency_ns": result.avg_latency_ns(frequency),
-            "throughput": result.throughput_packets_per_node_cycle,
-            "power_w": power["total"],
-            "merge_fraction": merge_report(network, result.stats).merge_fraction,
+    common = dict(
+        pattern="uniform_random",
+        rate=rate,
+        seed=seed,
+        warmup_packets=scale["warmup_packets"],
+        measure_packets=scale["measure_packets"],
+    )
+    variant_points = {
+        "baseline": SweepPoint(layout="baseline", **common),
+        "diagonal+BL": SweepPoint(layout="diagonal+BL", **common),
+        "diagonal+BL/no-merging": SweepPoint(
+            layout="diagonal+BL", flit_merging=False, **common
+        ),
+        "diagonal+BL/strict-flits": SweepPoint(
+            layout="diagonal+BL", flit_mode="strict", **common
+        ),
+        "scattered+BL": SweepPoint(
+            layout=None,
+            big_positions=tuple(_scattered_positions(8)),
+            **common,
+        ),
+    }
+    results = run_sweep(list(variant_points.values()))
+    return {
+        name: {
+            "latency_cycles": result.latency_cycles,
+            "latency_ns": result.latency_ns,
+            "throughput": result.throughput,
+            "power_w": result.power_w,
+            "merge_fraction": result.merge_fraction,
         }
-
-    baseline = layout_by_name("baseline")
-    measure("baseline", build_network(baseline), baseline.frequency_ghz)
-
-    diagonal = layout_by_name("diagonal+BL")
-    measure("diagonal+BL", build_network(diagonal), diagonal.frequency_ghz)
-    measure(
-        "diagonal+BL/no-merging",
-        build_network(diagonal, flit_merging=False),
-        diagonal.frequency_ghz,
-    )
-    measure(
-        "diagonal+BL/strict-flits",
-        build_network(diagonal, flit_mode="strict"),
-        diagonal.frequency_ghz,
-    )
-
-    scattered = custom_layout(
-        "scattered+BL", _scattered_positions(diagonal.mesh_size), mesh_size=8
-    )
-    measure("scattered+BL", build_network(scattered), scattered.frequency_ghz)
-    return variants
+        for name, result in zip(variant_points, results)
+    }
 
 
 def main(fast: bool = True) -> None:

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.layouts import build_network, layout_by_name
 from repro.core.power import network_power_breakdown
+from repro.exec import PointResult, run_sweep, sweep_points
 from repro.obs import Observation, observe
 from repro.traffic.patterns import pattern_by_name
 from repro.traffic.runner import run_synthetic
@@ -87,6 +88,60 @@ def run_layout_synthetic(
         "saturated": result.saturated,
         "summary": result.stats.summary(layout.frequency_ghz),
     }
+
+
+def point_metrics(result: PointResult) -> Dict[str, object]:
+    """A :class:`~repro.exec.PointResult` as the flat dict the harness
+    tables are built from (same keys :func:`run_layout_synthetic` uses)."""
+    return {
+        "rate": result.rate,
+        "latency_cycles": result.latency_cycles,
+        "latency_ns": result.latency_ns,
+        "queuing_cycles": result.queuing_cycles,
+        "blocking_cycles": result.blocking_cycles,
+        "transfer_cycles": result.transfer_cycles,
+        "throughput": result.throughput,
+        "power_w": result.power_w,
+        "power_breakdown": dict(result.power_breakdown),
+        "saturated": result.saturated,
+        "merge_fraction": result.merge_fraction,
+    }
+
+
+def sweep_layouts(
+    layouts: Sequence[str],
+    pattern_name: str,
+    rates: Sequence[float],
+    fast: bool = True,
+    seed: int = 11,
+    flit_mode: str = "paper",
+) -> Dict[str, List[Dict[str, object]]]:
+    """Run a layouts x rates sweep through the execution engine.
+
+    The workhorse of the figure harnesses: builds one
+    :class:`~repro.exec.SweepPoint` per (layout, rate), executes them via
+    :func:`repro.exec.run_sweep` (parallel and cached when ``run_all
+    --jobs``/``REPRO_JOBS`` say so) and regroups the results into
+    per-layout curves ordered like ``rates``.
+    """
+    scale = measurement_scale(fast)
+    points = sweep_points(
+        layouts,
+        pattern_name,
+        rates,
+        seed=seed,
+        flit_mode=flit_mode,
+        warmup_packets=scale["warmup_packets"],
+        measure_packets=scale["measure_packets"],
+    )
+    results = run_sweep(points)
+    curves: Dict[str, List[Dict[str, object]]] = {}
+    for li, layout in enumerate(layouts):
+        curves[layout] = [
+            point_metrics(results[li * len(rates) + ri])
+            for ri in range(len(rates))
+        ]
+    return curves
 
 
 def percent_change(new: float, old: float) -> float:

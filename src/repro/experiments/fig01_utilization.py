@@ -10,10 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.layouts import baseline_layout, build_network
+from repro.exec import SweepPoint, run_sweep
 from repro.experiments.common import format_table, measurement_scale
-from repro.traffic.patterns import UniformRandom
-from repro.traffic.runner import run_synthetic
 
 
 def run(
@@ -23,24 +21,20 @@ def run(
     seed: int = 11,
 ) -> Dict[str, object]:
     """Returns per-router buffer and link utilization grids (fractions)."""
-    layout = baseline_layout(mesh_size)
-    network = build_network(layout)
-    pattern = UniformRandom(network.topology.num_nodes)
-    result = run_synthetic(
-        network, pattern, rate, seed=seed, **measurement_scale(fast)
+    scale = measurement_scale(fast)
+    point = SweepPoint(
+        layout="baseline",
+        mesh_size=mesh_size,
+        pattern="uniform_random",
+        rate=rate,
+        seed=seed,
+        warmup_packets=scale["warmup_packets"],
+        measure_packets=scale["measure_packets"],
     )
-    stats = result.stats
+    result = run_sweep([point])[0]
     n = mesh_size
-    buffer_grid = [
-        [stats.buffer_utilization(r * n + c) for c in range(n)] for r in range(n)
-    ]
-    link_grid = [
-        [
-            stats.router_link_utilization(r * n + c, network.topology.num_ports(r * n + c))
-            for c in range(n)
-        ]
-        for r in range(n)
-    ]
+    buffer_grid = [result.buffer_utilization[r * n:(r + 1) * n] for r in range(n)]
+    link_grid = [result.link_utilization[r * n:(r + 1) * n] for r in range(n)]
     return {
         "rate": rate,
         "buffer_utilization": buffer_grid,

@@ -10,28 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.exec import SweepPoint, run_sweep
 from repro.experiments.common import format_table, measurement_scale
-from repro.noc.config import RouterConfig
-from repro.noc.network import Network
-from repro.noc.topology import ConcentratedMesh, FlattenedButterfly
-from repro.traffic.patterns import UniformRandom
-from repro.traffic.runner import run_synthetic
-
-
-def _run_topology(topology, rate: float, fast: bool, seed: int):
-    configs = {rid: RouterConfig() for rid in range(topology.num_routers)}
-    network = Network(topology, configs)
-    pattern = UniformRandom(topology.num_nodes)
-    result = run_synthetic(
-        network, pattern, rate, seed=seed, **measurement_scale(fast)
-    )
-    stats = result.stats
-    side = topology.width
-    grid = [
-        [stats.buffer_utilization(r * side + c) for c in range(side)]
-        for r in range(side)
-    ]
-    return grid
 
 
 def run(
@@ -43,14 +23,35 @@ def run(
     """Buffer-utilization grids for the two topologies.
 
     Rates are per *node*; the concentrated topologies aggregate 4 nodes
-    per router, so these correspond to moderately loaded networks.
+    per router, so these correspond to moderately loaded networks.  Both
+    topologies run as independent sweep points (homogeneous generic
+    routers, see :class:`repro.exec.SweepPoint`).
     """
-    cmesh_grid = _run_topology(
-        ConcentratedMesh(4, concentration=4), rate_cmesh, fast, seed
-    )
-    fbfly_grid = _run_topology(
-        FlattenedButterfly(4, concentration=4), rate_fbfly, fast, seed
-    )
+    scale = measurement_scale(fast)
+    points = [
+        SweepPoint(
+            layout=None,
+            topology=topo,
+            mesh_size=4,
+            concentration=4,
+            pattern="uniform_random",
+            rate=rate,
+            seed=seed,
+            warmup_packets=scale["warmup_packets"],
+            measure_packets=scale["measure_packets"],
+        )
+        for topo, rate in (("cmesh", rate_cmesh), ("fbfly", rate_fbfly))
+    ]
+    cmesh_result, fbfly_result = run_sweep(points)
+
+    def grid_of(result, side=4):
+        return [
+            result.buffer_utilization[r * side:(r + 1) * side]
+            for r in range(side)
+        ]
+
+    cmesh_grid = grid_of(cmesh_result)
+    fbfly_grid = grid_of(fbfly_result)
 
     def spread(grid):
         flat = [cell for row in grid for cell in row]

@@ -18,7 +18,7 @@ from repro.experiments.common import (
     format_table,
     percent_change,
     percent_reduction,
-    run_layout_synthetic,
+    sweep_layouts,
 )
 
 DEFAULT_RATES = (0.01, 0.02, 0.03, 0.04, 0.05, 0.06)
@@ -47,23 +47,27 @@ def run(
     seed: int = 11,
     pattern: str = "uniform_random",
 ) -> Dict[str, object]:
-    """Sweep injection rate for each layout; also compute summary deltas."""
+    """Sweep injection rate for each layout; also compute summary deltas.
+
+    The (layout, rate) grid goes through the sweep engine
+    (:mod:`repro.exec`) as independent points, so ``run_all --jobs N``
+    fans it out across processes and a warm result cache skips the
+    simulation entirely -- bit-identically either way.
+    """
+    samples = sweep_layouts(layouts, pattern, rates, fast=fast, seed=seed)
     curves: Dict[str, List[Dict[str, float]]] = {}
     for layout in layouts:
-        points = []
-        for rate in rates:
-            sample = run_layout_synthetic(layout, pattern, rate, fast=fast, seed=seed)
-            points.append(
-                {
-                    "rate": rate,
-                    "latency_ns": sample["latency_ns"],
-                    "latency_cycles": sample["latency_cycles"],
-                    "throughput": sample["throughput"],
-                    "power_w": sample["power_w"],
-                    "saturated": sample["saturated"],
-                }
-            )
-        curves[layout] = points
+        curves[layout] = [
+            {
+                "rate": sample["rate"],
+                "latency_ns": sample["latency_ns"],
+                "latency_cycles": sample["latency_cycles"],
+                "throughput": sample["throughput"],
+                "power_w": sample["power_w"],
+                "saturated": sample["saturated"],
+            }
+            for sample in samples[layout]
+        ]
 
     summary = {}
     base = curves["baseline"]

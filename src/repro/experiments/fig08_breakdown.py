@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.experiments.common import format_table, run_layout_synthetic
+from repro.experiments.common import format_table, sweep_layouts
 
 BREAKDOWN_LAYOUTS = ("baseline", "center+BL", "diagonal+BL", "row2_5+BL")
 
@@ -23,10 +23,11 @@ def run(
     fast: bool = True,
     seed: int = 11,
 ) -> Dict[str, object]:
+    samples = sweep_layouts(layouts, "uniform_random", [rate], fast=fast, seed=seed)
     latency = {}
     power = {}
     for layout in layouts:
-        sample = run_layout_synthetic(layout, "uniform_random", rate, fast=fast, seed=seed)
+        sample = samples[layout][0]
         latency[layout] = {
             "blocking": sample["blocking_cycles"],
             "queuing": sample["queuing_cycles"],

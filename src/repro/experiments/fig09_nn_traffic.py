@@ -16,7 +16,7 @@ from repro.experiments.common import (
     format_table,
     percent_change,
     percent_reduction,
-    run_layout_synthetic,
+    sweep_layouts,
 )
 
 NN_LAYOUTS = ("baseline", "center+BL", "diagonal+BL", "row2_5+BL")
@@ -37,24 +37,22 @@ def run(
     one-hop traffic, which the paper-accounting mode hides (see
     EXPERIMENTS.md).
     """
+    samples = sweep_layouts(
+        layouts, "nearest_neighbor", rates, fast=fast, seed=seed,
+        flit_mode=flit_mode,
+    )
     curves: Dict[str, List[Dict[str, float]]] = {}
     for layout in layouts:
-        points = []
-        for rate in rates:
-            sample = run_layout_synthetic(
-                layout, "nearest_neighbor", rate, fast=fast, seed=seed,
-                flit_mode=flit_mode,
-            )
-            points.append(
-                {
-                    "rate": rate,
-                    "latency_ns": sample["latency_ns"],
-                    "throughput": sample["throughput"],
-                    "power_w": sample["power_w"],
-                    "saturated": sample["saturated"],
-                }
-            )
-        curves[layout] = points
+        curves[layout] = [
+            {
+                "rate": sample["rate"],
+                "latency_ns": sample["latency_ns"],
+                "throughput": sample["throughput"],
+                "power_w": sample["power_w"],
+                "saturated": sample["saturated"],
+            }
+            for sample in samples[layout]
+        ]
     base = curves["baseline"]
     summary = {}
     for layout in layouts:

@@ -88,25 +88,34 @@ def run_uniform_random(
 
     A second, simpler view of the same question: at a moderate uniform
     load, how much does Diagonal+BL improve latency on each topology?
+    The four (topology, layout) combinations run as independent sweep
+    points through :func:`repro.exec.run_sweep`.
     """
-    from repro.experiments.common import measurement_scale
-    from repro.traffic.patterns import UniformRandom
-    from repro.traffic.runner import run_synthetic
+    from repro.exec import SweepPoint, run_sweep
 
     scale = measurement_scale(fast)
-    latencies: Dict[str, Dict[str, float]] = {}
-    for topo_name, topo_cls in (("mesh", Mesh), ("torus", Torus)):
-        latencies[topo_name] = {}
-        for layout in (baseline_layout(), layout_by_name("diagonal+BL")):
-            network = build_network(layout, topology=topo_cls(layout.mesh_size))
-            result = run_synthetic(
-                network,
-                UniformRandom(network.topology.num_nodes),
-                rate,
+    combos = [
+        (topo_name, layout_name)
+        for topo_name in ("mesh", "torus")
+        for layout_name in ("baseline", "diagonal+BL")
+    ]
+    results = run_sweep(
+        [
+            SweepPoint(
+                layout=layout_name,
+                topology=topo_name,
+                pattern="uniform_random",
+                rate=rate,
                 seed=seed,
-                **scale,
+                warmup_packets=scale["warmup_packets"],
+                measure_packets=scale["measure_packets"],
             )
-            latencies[topo_name][layout.name] = result.stats.avg_latency_cycles
+            for topo_name, layout_name in combos
+        ]
+    )
+    latencies: Dict[str, Dict[str, float]] = {"mesh": {}, "torus": {}}
+    for (topo_name, layout_name), result in zip(combos, results):
+        latencies[topo_name][layout_name] = result.latency_cycles
     return {
         "mesh_reduction_pct": percent_reduction(
             latencies["mesh"]["diagonal+BL"], latencies["mesh"]["baseline"]

@@ -5,11 +5,22 @@ Usage::
     python -m repro.experiments.run_all          # fast (reduced scale)
     python -m repro.experiments.run_all --full   # paper-scale (slow)
     python -m repro.experiments.run_all fig07 fig09   # a subset
+    python -m repro.experiments.run_all --jobs 4      # parallel sweep points
+    python -m repro.experiments.run_all --no-cache    # always resimulate
     python -m repro.experiments.run_all --csv out/    # also export CSVs
     python -m repro.experiments.run_all --obs out/    # observability demo:
                                                       #   instrumented fig01
                                                       #   run -> time series,
                                                       #   trace, profile
+
+Sweep-style harnesses submit their points through :mod:`repro.exec`:
+``--jobs N`` fans independent points out over N worker processes
+(bit-identical output to serial execution) and completed points land in
+a disk cache (see ``repro.exec.default_cache_dir``), so a re-run -- or a
+crashed ``--full`` sweep restarted -- skips simulation for every point
+it already has.  ``--no-cache`` opts out.  Progress heartbeats and cache
+configuration go to stderr so stdout stays byte-comparable across
+``--jobs`` settings.
 
 Each harness prints the paper-shaped rows/series; EXPERIMENTS.md holds
 the recorded measured-vs-paper comparison.  After each harness a progress
@@ -107,6 +118,39 @@ def _pop_flag_with_value(argv: list, flag: str):
     return argv[index + 1], argv[:index] + argv[index + 2:]
 
 
+def _configure_exec(argv: list) -> list:
+    """Apply ``--jobs N`` / ``--no-cache`` to the sweep engine defaults.
+
+    Returns the remaining argv.  Everything this prints goes to stderr:
+    the harness tables on stdout must stay byte-identical whatever the
+    execution backend.
+    """
+    from repro.exec import configure, default_cache_dir
+    from repro.obs.profiler import make_progress_printer
+
+    jobs = None
+    if "--jobs" in argv:
+        value, argv = _pop_flag_with_value(argv, "--jobs")
+        jobs = int(value)
+        if jobs < 1:
+            raise ValueError(f"--jobs needs a positive integer, got {value}")
+    cache_dir = default_cache_dir()
+    if "--no-cache" in argv:
+        argv = [a for a in argv if a != "--no-cache"]
+        cache_dir = None
+    configure(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=make_progress_printer(stream=sys.stderr),
+    )
+    print(
+        f"[exec] jobs={jobs or 'default'} "
+        f"cache={cache_dir if cache_dir is not None else 'off'}",
+        file=sys.stderr,
+    )
+    return argv
+
+
 def main(argv: list) -> int:
     fast = "--full" not in argv
     csv_dir = None
@@ -116,6 +160,7 @@ def main(argv: list) -> int:
             csv_dir, argv = _pop_flag_with_value(argv, "--csv")
         if "--obs" in argv:
             obs_dir, argv = _pop_flag_with_value(argv, "--obs")
+        argv = _configure_exec(argv)
     except ValueError as exc:
         print(exc)
         return 2

@@ -23,15 +23,12 @@ from typing import Dict, List, Sequence
 from repro.core.hetero import bisection_bandwidth_bits, min_small_routers
 from repro.core.layouts import (
     baseline_layout,
-    build_network,
     custom_layout,
     extended_diagonal_positions,
 )
-from repro.core.power import network_power_breakdown
+from repro.exec import SweepPoint, run_sweep
 from repro.experiments.common import format_table, measurement_scale
 from repro.noc.topology import Mesh
-from repro.traffic.patterns import UniformRandom
-from repro.traffic.runner import run_synthetic
 
 DEFAULT_BUDGETS = (0, 8, 16, 24, 32)
 
@@ -46,34 +43,40 @@ def run(
     scale = measurement_scale(fast)
     max_big_power_neutral = mesh_size**2 - min_small_routers(mesh_size)
     mesh = Mesh(mesh_size)
-    rows: List[Dict[str, object]] = []
+    common = dict(
+        mesh_size=mesh_size,
+        pattern="uniform_random",
+        rate=rate,
+        seed=seed,
+        warmup_packets=scale["warmup_packets"],
+        measure_packets=scale["measure_packets"],
+    )
+    layouts = {}
+    points = []
     for num_big in budgets:
         if num_big == 0:
-            layout = baseline_layout(mesh_size)
+            layouts[num_big] = baseline_layout(mesh_size)
+            points.append(SweepPoint(layout="baseline", **common))
         else:
-            layout = custom_layout(
-                f"diag-ext-{num_big}",
-                extended_diagonal_positions(mesh_size, num_big),
-                mesh_size=mesh_size,
+            positions = extended_diagonal_positions(mesh_size, num_big)
+            layouts[num_big] = custom_layout(
+                f"diag-ext-{num_big}", positions, mesh_size=mesh_size
             )
-        network = build_network(layout)
-        result = run_synthetic(
-            network,
-            UniformRandom(network.topology.num_nodes),
-            rate,
-            seed=seed,
-            **scale,
-        )
-        power = network_power_breakdown(network, result.stats)
-        configs = layout.router_configs("strict")
+            points.append(
+                SweepPoint(layout=None, big_positions=tuple(positions), **common)
+            )
+    results = run_sweep(points)
+    rows: List[Dict[str, object]] = []
+    for num_big, result in zip(budgets, results):
+        configs = layouts[num_big].router_configs("strict")
         bisection = bisection_bandwidth_bits(mesh, configs)
         rows.append(
             {
                 "num_big": num_big,
-                "latency_cycles": result.stats.avg_latency_cycles,
-                "latency_ns": result.avg_latency_ns(layout.frequency_ghz),
-                "throughput": result.throughput_packets_per_node_cycle,
-                "power_w": power["total"],
+                "latency_cycles": result.latency_cycles,
+                "latency_ns": result.latency_ns,
+                "throughput": result.throughput,
+                "power_w": result.power_w,
                 "bisection_bits": bisection,
                 "power_neutral": num_big <= max_big_power_neutral,
             }

@@ -34,6 +34,19 @@ in the paper's flit accounting (Section 4)."""
 _packet_ids = itertools.count()
 
 
+def reset_packet_ids() -> None:
+    """Restart the global packet-id counter at zero.
+
+    Packet ids are process-global, so two otherwise-identical simulations
+    observe different ids unless the counter is rewound first.  The sweep
+    engine (:mod:`repro.exec`) calls this before executing each point so
+    that results are bit-identical whether points run serially in one
+    process or fan out across workers.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
 class FlitType(enum.Enum):
     """Position of a flit inside its packet."""
 

@@ -57,6 +57,41 @@ class SyntheticRunResult:
         return self.stats.accepted_packets_per_node_per_cycle
 
 
+def _offer_load(
+    network: Network,
+    pattern: TrafficPattern,
+    injector,
+    rng: random.Random,
+    budget: Optional[int] = None,
+    on_create: Optional[Callable[..., None]] = None,
+) -> int:
+    """Offer one cycle of load at every node; returns packets created.
+
+    The single injection path shared by the warmup/measure loop and the
+    drain loop (and by future injectors): for each node, ask the injection
+    process whether it fires, then draw a destination and enqueue the
+    packet.  The call order against ``rng`` -- ``fires`` first, destination
+    second, and no destination drawn once ``budget`` is exhausted -- is
+    load-bearing: it pins the packet stream for a given seed, which the
+    golden-run tests assert.
+
+    ``on_create`` (if given) sees each packet after construction and
+    before it is enqueued, so it may mark it measured.
+    """
+    created = 0
+    for node in range(network.topology.num_nodes):
+        if not injector.fires(node, rng):
+            continue
+        if budget is not None and created >= budget:
+            break
+        packet = network.make_packet(node, pattern.destination(node, rng))
+        if on_create is not None:
+            on_create(packet)
+        network.enqueue(packet)
+        created += 1
+    return created
+
+
 def run_synthetic(
     network: Network,
     pattern: TrafficPattern,
@@ -127,23 +162,29 @@ def run_synthetic(
             )
         )
 
+    def _mark_measured(packet) -> None:
+        # ``created`` is the packet's creation index: the first
+        # ``warmup_packets`` packets warm the network, the rest are
+        # measured (the callback runs before the count is bumped).
+        nonlocal created
+        if created >= warmup_packets:
+            packet.measured = True
+            if not network.measuring:
+                network.begin_measurement()
+                if profiler is not None:
+                    profiler.enter_run_phase("measure")
+        created += 1
+
     network.reset_stats()
     while created < target:
-        for node in range(network.topology.num_nodes):
-            if not injector.fires(node, rng):
-                continue
-            if created >= target:
-                break
-            dst = pattern.destination(node, rng)
-            packet = network.make_packet(node, dst)
-            if created >= warmup_packets:
-                packet.measured = True
-                if not network.measuring:
-                    network.begin_measurement()
-                    if profiler is not None:
-                        profiler.enter_run_phase("measure")
-            network.enqueue(packet)
-            created += 1
+        _offer_load(
+            network,
+            pattern,
+            injector,
+            rng,
+            budget=target - created,
+            on_create=_mark_measured,
+        )
         network.step()
         if progress is not None and network.cycle % progress_every == 0:
             phase = "measure" if network.measuring else "warmup"
@@ -162,11 +203,7 @@ def run_synthetic(
         if network.cycle >= drain_deadline:
             saturated = True
             break
-        for node in range(network.topology.num_nodes):
-            if injector.fires(node, rng):
-                network.enqueue(
-                    network.make_packet(node, pattern.destination(node, rng))
-                )
+        _offer_load(network, pattern, injector, rng)
         network.step()
         if progress is not None and network.cycle % progress_every == 0:
             _heartbeat("drain", len(network.stats.records), measure_packets)

@@ -1,0 +1,223 @@
+"""Engine and cache-layer behaviour: hits, misses, corruption, resume.
+
+The headline property: a warm cache makes :func:`repro.exec.run_sweep`
+execute *zero* simulations (proved here by stubbing ``execute_point`` to
+raise), and any damaged cache entry -- truncated, corrupt JSON, wrong
+version, wrong spec, wrong field set -- silently degrades to a recompute,
+never an exception.  That combination is what lets an interrupted
+``run_all --full`` sweep resume from where it crashed.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.exec.engine as engine_mod
+from repro.exec import (
+    ExecDefaults,
+    ResultCache,
+    SweepPoint,
+    configure,
+    default_cache_dir,
+    execute_point,
+    run_sweep,
+)
+
+POINT = SweepPoint(
+    layout="baseline", mesh_size=4, pattern="uniform_random",
+    rate=0.05, seed=3, warmup_packets=20, measure_packets=120,
+)
+
+
+def _points(n=3):
+    rates = (0.03, 0.05, 0.08)
+    return [dataclasses.replace(POINT, rate=rates[i]) for i in range(n)]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_defaults(monkeypatch):
+    """Keep configure() side effects out of the other tests."""
+    monkeypatch.setattr(engine_mod, "_defaults", ExecDefaults())
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "sweeps")
+
+
+class TestCacheRoundTrip:
+    def test_put_then_get(self, cache):
+        result = execute_point(POINT)
+        path = cache.put(POINT, result)
+        assert path.exists() and path.name == f"{POINT.key()}.json"
+        hit = cache.get(POINT)
+        assert hit is not None
+        assert hit.to_dict() == result.to_dict()
+
+    def test_miss_on_empty_cache(self, cache):
+        assert cache.get(POINT) is None
+        assert len(cache) == 0
+
+    def test_different_spec_misses(self, cache):
+        cache.put(POINT, execute_point(POINT))
+        assert cache.get(dataclasses.replace(POINT, seed=POINT.seed + 1)) is None
+
+    def test_no_stray_tmp_files(self, cache):
+        cache.put(POINT, execute_point(POINT))
+        assert not list(cache.directory.glob("*.tmp"))
+        assert len(cache) == 1
+
+
+class TestCacheCorruptionFallsBackToRecompute:
+    """Satellite 3: damaged entries are misses, and the damaged file is
+    discarded so it cannot poison later runs."""
+
+    def _seed_entry(self, cache):
+        result = execute_point(POINT)
+        return cache.put(POINT, result), result
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda path: path.write_text(""),                      # truncated empty
+            lambda path: path.write_text(path.read_text()[: len(path.read_text()) // 2]),
+            lambda path: path.write_text("{not json"),
+            lambda path: path.write_text(json.dumps({"version": 999})),
+            lambda path: path.write_text(json.dumps(
+                {"version": 1, "spec": {"rate": 9.9}, "result": {}})),
+            lambda path: path.write_text(json.dumps(
+                {"version": 1, "spec": None, "result": None})),
+        ],
+        ids=["empty", "truncated", "not-json", "bad-version", "spec-mismatch",
+             "null-payload"],
+    )
+    def test_damaged_entry_is_a_miss_and_discarded(self, cache, damage):
+        path, _ = self._seed_entry(cache)
+        damage(path)
+        assert cache.get(POINT) is None
+        assert not path.exists()  # discarded, not left to fail again
+
+    def test_result_with_wrong_fields_is_a_miss(self, cache):
+        path, result = self._seed_entry(cache)
+        payload = json.loads(path.read_text())
+        del payload["result"]["packet_id_sum"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(POINT) is None
+
+    def test_run_sweep_recovers_from_corrupt_entry(self, cache):
+        """End to end: corrupt one entry of a swept cache; the sweep
+        recomputes exactly that point and still returns correct results."""
+        points = _points()
+        first = run_sweep(points, jobs=1, cache=cache)
+        cache.path_for(points[1]).write_text("garbage")
+        second = run_sweep(points, jobs=1, cache=cache)
+        assert [r.to_dict() for r in second] == [r.to_dict() for r in first]
+        assert [r.from_cache for r in second] == [True, False, True]
+        # ... and the recompute repaired the entry.
+        assert cache.get(points[1]) is not None
+
+
+class TestWarmCacheExecutesNothing:
+    def test_second_run_simulates_zero_points(self, cache, monkeypatch):
+        points = _points()
+        cold = run_sweep(points, jobs=1, cache=cache)
+        assert all(not r.from_cache for r in cold)
+        assert len(cache) == len(points)
+
+        def _boom(point):
+            raise AssertionError(f"simulated {point.label} despite warm cache")
+
+        monkeypatch.setattr(engine_mod, "execute_point", _boom)
+        warm = run_sweep(points, jobs=1, cache=cache)
+        assert all(r.from_cache for r in warm)
+        assert [r.to_dict() for r in warm] == [r.to_dict() for r in cold]
+
+    def test_partial_cache_executes_only_misses(self, cache, monkeypatch):
+        points = _points()
+        run_sweep([points[0], points[2]], jobs=1, cache=cache)
+        executed = []
+        real = engine_mod.execute_point
+
+        def _spy(point):
+            executed.append(point.key())
+            return real(point)
+
+        monkeypatch.setattr(engine_mod, "execute_point", _spy)
+        results = run_sweep(points, jobs=1, cache=cache)
+        assert executed == [points[1].key()]
+        assert [r.from_cache for r in results] == [True, False, True]
+
+    def test_no_cache_always_executes(self, cache, monkeypatch):
+        run_sweep(_points(1), jobs=1, cache=cache)
+        calls = []
+        real = engine_mod.execute_point
+        monkeypatch.setattr(
+            engine_mod, "execute_point",
+            lambda point: calls.append(point.key()) or real(point),
+        )
+        run_sweep(_points(1), jobs=1, cache=None)
+        assert len(calls) == 1
+
+
+class TestEngineConfiguration:
+    def test_configure_sets_defaults(self, tmp_path):
+        defaults = configure(jobs=3, cache_dir=tmp_path)
+        assert defaults.jobs == 3 and defaults.cache_dir == str(tmp_path)
+        # Omitted args keep their values.
+        assert configure().jobs == 3
+
+    def test_configure_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            configure(jobs=0)
+
+    def test_configured_cache_used_by_default(self, tmp_path, monkeypatch):
+        configure(cache_dir=tmp_path / "sweeps")
+        run_sweep(_points(1), jobs=1)
+        assert len(ResultCache(tmp_path / "sweeps")) == 1
+        # cache=None opts a single call out even when a default is set.
+        monkeypatch.setattr(
+            engine_mod, "execute_point",
+            lambda point: (_ for _ in ()).throw(AssertionError("executed")),
+        )
+        assert all(r.from_cache for r in run_sweep(_points(1), jobs=1))
+        with pytest.raises(AssertionError, match="executed"):
+            run_sweep(_points(1), jobs=1, cache=None)
+
+    def test_env_defaults(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "env-cache"))
+        defaults = engine_mod._defaults_from_env()
+        assert defaults.jobs == 4
+        assert defaults.cache_dir == str(tmp_path / "env-cache")
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_env_junk_jobs_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert engine_mod._defaults_from_env().jobs == 1
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_sweep(_points(1), backend="threads", cache=None)
+
+
+class TestProgressHeartbeats:
+    def test_one_heartbeat_per_point_including_cache_hits(self, cache):
+        points = _points()
+        beats = []
+        run_sweep(points, jobs=1, cache=cache, progress=beats.append)
+        assert [p.done for p in beats] == [1, 2, 3]
+        assert all(p.phase == "sweep" and p.target == 3 for p in beats)
+        warm = []
+        run_sweep(points, jobs=1, cache=cache, progress=warm.append)
+        assert [p.done for p in warm] == [1, 2, 3]
+
+    def test_process_backend_writes_cache_and_reports(self, cache):
+        points = _points(2)
+        beats = []
+        results = run_sweep(
+            points, jobs=2, backend="process", cache=cache, progress=beats.append
+        )
+        assert len(cache) == 2
+        assert sorted(p.done for p in beats) == [1, 2]
+        assert [r.key for r in results] == [p.key() for p in points]

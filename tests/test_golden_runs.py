@@ -1,0 +1,128 @@
+"""Golden-run regression tests: fixed-seed reference results, exact match.
+
+``tests/golden/golden_runs.json`` commits the complete
+:class:`repro.exec.PointResult` payloads of four small fixed-seed runs --
+homogeneous and HeteroNoC (Diagonal+BL) 4x4 meshes under uniform-random
+and nearest-neighbour traffic.  The tests assert today's simulator
+reproduces them *exactly* (integer checksums and floats alike), through
+both the serial and the process backends, which pins three things at
+once:
+
+* the simulator's packet streams and latency accounting per seed (any
+  change to injection order, routing, arbitration or stats shows up as a
+  golden diff, deliberately);
+* ``process`` backend == ``serial`` backend, bit for bit;
+* the ``_offer_load`` injection path: packet ids are creation-ordered,
+  so the measured window is exactly ids ``[warmup, warmup + measure)``.
+
+Regenerate after an *intentional* simulator change::
+
+    PYTHONPATH=src python tests/test_golden_runs.py --regen
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.exec import SweepPoint, execute_point, run_sweep
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_runs.json"
+
+#: the four reference configurations (kept tiny: a 4x4 mesh, 350 packets).
+GOLDEN_POINTS = {
+    "homogeneous-4x4-UR": SweepPoint(
+        layout="baseline", mesh_size=4, pattern="uniform_random",
+        rate=0.05, seed=7, warmup_packets=50, measure_packets=300,
+    ),
+    "homogeneous-4x4-NN": SweepPoint(
+        layout="baseline", mesh_size=4, pattern="nearest_neighbor",
+        rate=0.08, seed=7, warmup_packets=50, measure_packets=300,
+    ),
+    "heteronoc-4x4-UR": SweepPoint(
+        layout="diagonal+BL", mesh_size=4, pattern="uniform_random",
+        rate=0.05, seed=7, warmup_packets=50, measure_packets=300,
+    ),
+    "heteronoc-4x4-NN": SweepPoint(
+        layout="diagonal+BL", mesh_size=4, pattern="nearest_neighbor",
+        rate=0.08, seed=7, warmup_packets=50, measure_packets=300,
+    ),
+}
+
+
+def _load_golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return _load_golden()
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    points = list(GOLDEN_POINTS.values())
+    return dict(zip(GOLDEN_POINTS, run_sweep(points, jobs=1, cache=None)))
+
+
+class TestGoldenReferences:
+    def test_specs_unchanged(self, golden):
+        """The committed spec must match the in-code spec (else the hash
+        keys silently diverge and the reference proves nothing)."""
+        for name, point in GOLDEN_POINTS.items():
+            assert golden[name]["spec"] == point.spec_dict(), name
+
+    @pytest.mark.parametrize("name", list(GOLDEN_POINTS))
+    def test_serial_reproduces_golden_exactly(self, golden, serial_results, name):
+        assert serial_results[name].to_dict() == golden[name]["result"], (
+            f"{name} diverged from its golden reference; if the simulator "
+            "change is intentional, regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_runs.py --regen`"
+        )
+
+    def test_none_saturated(self, golden):
+        """Golden points must sit below saturation: a saturated reference
+        would pin drain-truncation artefacts instead of steady state."""
+        for name, payload in golden.items():
+            assert payload["result"]["saturated"] is False, name
+            assert payload["result"]["measured_packets"] == 300, name
+
+    def test_measured_window_is_exact_packet_id_range(self, serial_results):
+        """Pins the `_offer_load` injection path: packets are numbered in
+        creation order, so the measured ids are exactly the contiguous
+        block after warmup."""
+        for name, point in GOLDEN_POINTS.items():
+            lo = point.warmup_packets
+            hi = lo + point.measure_packets
+            expected = sum(range(lo, hi))
+            assert serial_results[name].packet_id_sum == expected, name
+
+
+class TestProcessBackendMatchesGolden:
+    def test_process_backend_bit_identical(self, golden):
+        """Two pool workers, same specs: every payload equals the golden
+        serial reference, proving process == serial bit for bit."""
+        points = list(GOLDEN_POINTS.values())
+        results = run_sweep(points, jobs=2, backend="process", cache=None)
+        for name, result in zip(GOLDEN_POINTS, results):
+            assert not result.from_cache
+            assert result.to_dict() == golden[name]["result"], name
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        name: {"spec": point.spec_dict(), "result": execute_point(point).to_dict()}
+        for name, point in GOLDEN_POINTS.items()
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
