@@ -28,16 +28,89 @@ of parallelism while ``run_all --jobs N`` turns it on globally.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.point import PointResult, SweepPoint, execute_point
 from repro.obs.profiler import Progress
 
 _UNSET = object()
+
+
+class PointTimeout(RuntimeError):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
+def _execute_point_guarded(
+    point: SweepPoint, timeout_s: Optional[float]
+) -> PointResult:
+    """Run one point, optionally under a wall-clock alarm.
+
+    Module-level so the process backend can pickle it.  The alarm uses
+    ``SIGALRM`` where the platform has it (POSIX); elsewhere the timeout
+    degrades to unenforced rather than failing.  ``execute_point`` is
+    resolved through the module global at call time, so tests that
+    monkeypatch it keep working through this wrapper.
+    """
+    if timeout_s is not None and timeout_s > 0 and hasattr(signal, "SIGALRM"):
+
+        def _alarm(signum, frame):
+            raise PointTimeout(
+                f"point {point.label} exceeded {timeout_s:g}s wall-clock budget"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        try:
+            return execute_point(point)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+    return execute_point(point)
+
+
+def _failed_result(point: SweepPoint, error: str) -> PointResult:
+    """A placeholder result for a point whose execution failed.
+
+    Metrics are NaN (so downstream plots show gaps rather than zeros),
+    counters are zero, and :attr:`PointResult.error` carries the message.
+    Failed results are never written to the cache.
+    """
+    nan = float("nan")
+    return PointResult(
+        key=point.key(),
+        label=point.label,
+        rate=point.rate,
+        seed=point.seed,
+        frequency_ghz=nan,
+        latency_cycles=nan,
+        latency_ns=nan,
+        queuing_cycles=nan,
+        blocking_cycles=nan,
+        transfer_cycles=nan,
+        avg_hops=nan,
+        p95_latency_cycles=nan,
+        p99_latency_cycles=nan,
+        latency_sum_cycles=0,
+        hops_sum=0,
+        packet_id_sum=0,
+        throughput=nan,
+        measured_packets=0,
+        total_cycles=0,
+        saturated=False,
+        unfinished_measured_packets=0,
+        power_w=nan,
+        power_breakdown={},
+        merge_fraction=nan,
+        buffer_utilization=[],
+        link_utilization=[],
+        error=error,
+    )
 
 
 @dataclass
@@ -102,6 +175,10 @@ def run_sweep(
     backend: Optional[str] = None,
     cache: Union[ResultCache, str, None, object] = _UNSET,
     progress: object = _UNSET,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.25,
+    on_error: Optional[str] = None,
 ) -> List[PointResult]:
     """Execute every point, returning results in input order.
 
@@ -116,10 +193,26 @@ def run_sweep(
         progress: callback for :class:`Progress` heartbeats (one per
             completed point; ``done`` counts points, and cached hits are
             counted immediately).
+        timeout: per-point wall-clock budget in seconds, enforced with
+            ``SIGALRM`` inside whichever process runs the point (worker
+            or this one); ``None`` disables it.  On platforms without
+            ``SIGALRM`` the budget is not enforced.
+        retries: extra attempts per failing point (timeouts, crashes and
+            dead pool workers included) before the failure is final.
+        retry_backoff_s: sleep before retry attempt *n* is
+            ``retry_backoff_s * 2**(n-1)`` seconds.
+        on_error: what to do with a point whose attempts are exhausted --
+            ``"raise"`` aborts the sweep (the first error propagates);
+            ``"capture"`` records a placeholder :class:`PointResult` with
+            NaN metrics and the error string in ``.error``, so one bad
+            point cannot sink a long parallel sweep.  Defaults to
+            ``"raise"`` on the serial backend and ``"capture"`` on the
+            process backend.
 
     Cached results come back with ``from_cache=True`` and cost zero
     simulation cycles; everything else executes and is written back to
-    the cache before returning.
+    the cache before returning.  Failed (captured) results are never
+    cached, so a re-run retries them.
     """
     points = list(points)
     jobs = jobs if jobs is not None else _defaults.jobs
@@ -129,6 +222,12 @@ def run_sweep(
         backend = "process" if jobs > 1 else "serial"
     if backend not in ("serial", "process"):
         raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if on_error is None:
+        on_error = "capture" if backend == "process" else "raise"
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
     resolved_cache = _resolve_cache(cache)
     heartbeat = _defaults.progress if progress is _UNSET else progress
 
@@ -149,6 +248,16 @@ def run_sweep(
                 )
             )
 
+    def _finish(index: int, result: PointResult) -> None:
+        if resolved_cache is not None and result.error is None:
+            resolved_cache.put(points[index], result)
+        results[index] = result
+        _tick(points[index])
+
+    def _backoff(attempt: int) -> None:
+        if retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+
     results: List[Optional[PointResult]] = [None] * len(points)
     pending: List[int] = []
     for index, point in enumerate(points):
@@ -162,25 +271,72 @@ def run_sweep(
 
     if backend == "serial" or len(pending) <= 1:
         for index in pending:
-            result = execute_point(points[index])
-            if resolved_cache is not None:
-                resolved_cache.put(points[index], result)
-            results[index] = result
-            _tick(points[index])
+            attempt = 0
+            while True:
+                try:
+                    result = _execute_point_guarded(points[index], timeout)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt <= retries:
+                        _backoff(attempt)
+                        continue
+                    if on_error == "raise":
+                        raise
+                    result = _failed_result(
+                        points[index], f"{type(exc).__name__}: {exc}"
+                    )
+                    break
+            _finish(index, result)
     elif pending:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_point, points[index]): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                result = future.result()
-                if resolved_cache is not None:
-                    resolved_cache.put(points[index], result)
-                results[index] = result
-                _tick(points[index])
+        # Failures (worker exceptions, timeouts, even a worker process
+        # dying and breaking the whole pool) are retried for `retries`
+        # rounds; the pool is rebuilt each round so a poisoned worker
+        # cannot take the rest of the sweep down with it.
+        remaining = pending
+        round_no = 0
+        while remaining:
+            errors: Dict[int, str] = {}
+            failed: List[int] = []
+            workers = min(jobs, len(remaining))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
+                futures = {
+                    pool.submit(_execute_point_guarded, points[index], timeout): index
+                    for index in remaining
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        failed.append(index)
+                        errors[index] = "worker process died (BrokenProcessPool)"
+                        continue
+                    except Exception as exc:
+                        failed.append(index)
+                        errors[index] = f"{type(exc).__name__}: {exc}"
+                        continue
+                    _finish(index, result)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if not failed:
+                break
+            failed.sort()
+            round_no += 1
+            if round_no <= retries:
+                _backoff(round_no)
+                remaining = failed
+                continue
+            if on_error == "raise":
+                first = failed[0]
+                raise RuntimeError(
+                    f"sweep point {points[first].label} failed after "
+                    f"{round_no} attempt(s): {errors[first]}"
+                )
+            for index in failed:
+                _finish(index, _failed_result(points[index], errors[index]))
+            break
     return results  # type: ignore[return-value]
 
 

@@ -61,6 +61,11 @@ class SweepPoint:
     warmup_packets: int = 200
     measure_packets: int = 2000
     drain_cycle_cap: int = 400_000
+    #: optional :class:`repro.faults.schedule.FaultSchedule` (or its
+    #: dict form); ``None`` -- the default -- is omitted from the spec
+    #: serialization entirely, so fault-free specs hash exactly as they
+    #: did before the fault subsystem existed (golden-run stability).
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.topology not in _TOPOLOGIES:
@@ -84,13 +89,34 @@ class SweepPoint:
             object.__setattr__(
                 self, "big_positions", tuple(sorted(self.big_positions))
             )
+        if self.faults is not None:
+            from repro.faults.schedule import FaultSchedule
+
+            if isinstance(self.faults, dict):
+                object.__setattr__(
+                    self, "faults", FaultSchedule.from_dict(self.faults)
+                )
+            elif not isinstance(self.faults, FaultSchedule):
+                raise TypeError(
+                    "faults must be a FaultSchedule (or its dict form), "
+                    f"got {type(self.faults).__name__}"
+                )
 
     # -- identity -------------------------------------------------------------
     def spec_dict(self) -> Dict[str, object]:
-        """The spec as a plain JSON-able dict (canonical field order)."""
-        spec = asdict(self)
+        """The spec as a plain JSON-able dict (canonical field order).
+
+        The ``faults`` key appears only when a schedule is set: absent
+        and ``None`` must serialize identically or every pre-existing
+        cache entry and golden payload would be invalidated.
+        """
+        spec = {f.name: getattr(self, f.name) for f in fields(self)}
         if spec["big_positions"] is not None:
             spec["big_positions"] = list(spec["big_positions"])
+        if spec["faults"] is None:
+            del spec["faults"]
+        else:
+            spec["faults"] = self.faults.to_dict()
         return spec
 
     def key(self) -> str:
@@ -199,21 +225,41 @@ class PointResult:
     merge_fraction: float
     buffer_utilization: List[float]
     link_utilization: List[float]
+    #: NI/fault-layer counters (``None`` for fault-free points, and then
+    #: omitted from serialization so pre-fault cache entries and golden
+    #: payloads stay byte-identical).
+    resilience: Optional[Dict[str, int]] = None
+    #: measured packets the NI declared lost (retries exhausted).
+    lost_measured_packets: int = 0
+    #: error string when the engine captured a failed execution instead
+    #: of aborting the sweep; failed results are never cached.
+    error: Optional[str] = None
     #: set by the engine when this result came from the disk cache rather
     #: than a simulation; never serialized.
     from_cache: bool = field(default=False, compare=False)
 
+    #: fields tolerated absent in (and pruned from) serialized payloads,
+    #: for compatibility with results written before they existed.
+    _OPTIONAL_FIELDS = frozenset({"resilience", "lost_measured_packets", "error"})
+
     def to_dict(self) -> Dict[str, object]:
         payload = asdict(self)
         payload.pop("from_cache")
+        if payload["resilience"] is None:
+            payload.pop("resilience")
+        if payload["lost_measured_packets"] == 0:
+            payload.pop("lost_measured_packets")
+        if payload["error"] is None:
+            payload.pop("error")
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "PointResult":
         expected = {f.name for f in fields(cls)} - {"from_cache"}
-        if set(payload) != expected:
+        provided = set(payload)
+        if provided - expected or (expected - provided) - cls._OPTIONAL_FIELDS:
             raise ValueError(
-                f"result payload fields {sorted(set(payload))} do not match "
+                f"result payload fields {sorted(provided)} do not match "
                 f"{sorted(expected)}"
             )
         return cls(**payload)
@@ -243,6 +289,7 @@ def execute_point(point: SweepPoint) -> PointResult:
         seed=point.seed,
         injector=point.build_injector(network.topology.num_nodes),
         drain_cycle_cap=point.drain_cycle_cap,
+        faults=point.faults,
     )
     stats = result.stats
     power = network_power_breakdown(network, stats)
@@ -281,4 +328,6 @@ def execute_point(point: SweepPoint) -> PointResult:
             stats.router_link_utilization(rid, num_ports(rid))
             for rid in range(network.topology.num_routers)
         ],
+        resilience=dict(result.resilience) if point.faults is not None else None,
+        lost_measured_packets=result.lost_measured_packets,
     )

@@ -45,6 +45,7 @@ from repro.experiments import (
     fig12_ipc,
     fig13_memctrl,
     fig14_asymmetric,
+    resilience,
     sensitivity_big_routers,
     table1_router_model,
 )
@@ -63,6 +64,7 @@ HARNESSES = {
     "fig14": fig14_asymmetric.main,
     "ablations": ablation_mechanisms.main,
     "sensitivity": sensitivity_big_routers.main,
+    "resilience": resilience.main,
 }
 
 
@@ -141,7 +143,9 @@ def _configure_exec(argv: list) -> list:
     configure(
         jobs=jobs,
         cache_dir=cache_dir,
-        progress=make_progress_printer(stream=sys.stderr),
+        # No captured stream: the printer resolves sys.stderr per print,
+        # so the installed default keeps working after redirection.
+        progress=make_progress_printer(),
     )
     print(
         f"[exec] jobs={jobs or 'default'} "

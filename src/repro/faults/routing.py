@@ -1,0 +1,147 @@
+"""Fault-aware rerouting.
+
+:class:`FaultAwareRouting` wraps a base discipline (normally X-Y) and
+steers packets around dead links and routers.  The policy:
+
+* with **no dead elements** it delegates every decision to the base
+  discipline, bit for bit -- a fault schedule that never fires leaves
+  routing identical to the healthy network (the golden-run and
+  degradation-study baselines depend on this);
+* with faults present it computes hop distances to each destination by
+  breadth-first search over the *alive* channel graph, prefers the base
+  (X-Y) output port whenever that port is alive and still strictly
+  reduces the distance, and otherwise takes the alive port with the
+  smallest distance (deterministic tie-break: lowest port index).
+
+Preferring the dimension-ordered port keeps the common case
+deadlock-free; the detours around faults can, in principle, close
+channel-dependency cycles.  That is accepted rather than prevented:
+the end-to-end retransmission timeout at the network interface purges
+wedged packets (recovery-based deadlock handling, in the style of the
+Alpha 21364), and the :class:`repro.faults.watchdog.Watchdog` converts
+any residual stall into a structured diagnosis instead of a hang.
+
+Distance tables are cached per destination and invalidated whenever the
+fault injector changes the alive-channel graph (it bumps
+``topology_epoch`` on every kill/repair).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.flit import Packet
+from repro.noc.routing import Routing, RoutingError
+
+
+class UnreachableDestination(RoutingError):
+    """No alive path exists between a packet's source and destination."""
+
+
+class FaultAwareRouting(Routing):
+    """Reroute around dead elements; identical to ``base`` when healthy.
+
+    ``state`` is any object exposing ``dead_routers`` (set of router
+    ids), ``dead_ports`` (set of ``(router, port)``) and an integer
+    ``topology_epoch`` that changes whenever either set does -- in
+    practice the :class:`repro.faults.injector.FaultInjector`.
+    """
+
+    def __init__(self, base: Routing, state) -> None:
+        super().__init__(base.topology)
+        self.base = base
+        self.state = state
+        self._epoch: Optional[int] = None
+        self._alive_ports: List[List[Tuple[int, int]]] = []
+        self._rev: List[List[int]] = []
+        self._dist: Dict[int, List[Optional[int]]] = {}
+
+    # -- alive-graph maintenance ----------------------------------------------
+    def _refresh(self) -> None:
+        if self._epoch == self.state.topology_epoch:
+            return
+        self._epoch = self.state.topology_epoch
+        self._dist = {}
+        topo = self.topology
+        dead_routers = self.state.dead_routers
+        dead_ports = self.state.dead_ports
+        alive: List[List[Tuple[int, int]]] = [
+            [] for _ in range(topo.num_routers)
+        ]
+        rev: List[List[int]] = [[] for _ in range(topo.num_routers)]
+        for src, sport, dst, dport in topo.channels():
+            if src in dead_routers or dst in dead_routers:
+                continue
+            if (src, sport) in dead_ports or (dst, dport) in dead_ports:
+                continue
+            alive[src].append((sport, dst))
+            rev[dst].append(src)
+        self._alive_ports = alive
+        self._rev = rev
+
+    def _distances(self, dst_router: int) -> List[Optional[int]]:
+        dist = self._dist.get(dst_router)
+        if dist is not None:
+            return dist
+        dist = [None] * self.topology.num_routers
+        if dst_router not in self.state.dead_routers:
+            dist[dst_router] = 0
+            frontier = deque([dst_router])
+            while frontier:
+                here = frontier.popleft()
+                step = dist[here] + 1
+                for upstream in self._rev[here]:
+                    if dist[upstream] is None:
+                        dist[upstream] = step
+                        frontier.append(upstream)
+        self._dist[dst_router] = dist
+        return dist
+
+    def healthy(self) -> bool:
+        """True when no element is currently dead (pure-delegate mode)."""
+        return not self.state.dead_routers and not self.state.dead_ports
+
+    def reachable(self, src_router: int, dst_router: int) -> bool:
+        """Whether an alive path ``src_router -> dst_router`` exists now."""
+        self._refresh()
+        if src_router == dst_router:
+            return src_router not in self.state.dead_routers
+        return self._distances(dst_router)[src_router] is not None
+
+    # -- Routing interface -----------------------------------------------------
+    def output_port(self, router: int, packet: Packet) -> int:
+        self._refresh()
+        if self.healthy():
+            return self.base.output_port(router, packet)
+        ejection = self._ejection_port(router, packet)
+        if ejection is not None:
+            return ejection
+        dst_router = self.topology.router_of_node(packet.dst)
+        dist = self._distances(dst_router)
+        here = dist[router]
+        if here is None:
+            raise UnreachableDestination(
+                f"packet {packet.packet_id}: no alive path from router "
+                f"{router} to router {dst_router}"
+            )
+        try:
+            base_port: Optional[int] = self.base.output_port(router, packet)
+        except RoutingError:
+            base_port = None
+        options: Dict[int, int] = {}
+        for port, neighbor in self._alive_ports[router]:
+            d = dist[neighbor]
+            if d is not None:
+                options[port] = d
+        if base_port in options and options[base_port] < here:
+            return base_port
+        if not options:  # unreachable: the BFS above would have said so
+            raise UnreachableDestination(
+                f"packet {packet.packet_id}: router {router} has no alive "
+                "output channel"
+            )
+        return min(options, key=lambda port: (options[port], port))
+
+    def allowed_vcs(self, router, out_port, packet, num_vcs):
+        return self.base.allowed_vcs(router, out_port, packet, num_vcs)

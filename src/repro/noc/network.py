@@ -107,6 +107,21 @@ class Network:
         #: optional :class:`repro.obs.profiler.RunProfiler`; when set,
         #: :meth:`step` switches to the phase-timed variant.
         self.profiler = None
+        #: optional :class:`repro.faults.injector.FaultInjector`; ``None``
+        #: (the default) keeps every fault tap on a single attribute check,
+        #: so a fault-free build is byte-identical to one without the
+        #: subsystem (same discipline as ``obs``).
+        self.faults = None
+        #: optional :class:`repro.faults.watchdog.Watchdog` sampled at the
+        #: end of every cycle.
+        self.watchdog = None
+        #: lifetime count of completed packets (clean or corrupted);
+        #: monotone progress signal for the watchdog's livelock check.
+        self.total_delivered = 0
+        #: optional callback fired when a fault purges a packet
+        #: (``on_loss(packet, reason, cycle)``) -- the NI retransmission
+        #: layer subscribes here.
+        self.on_loss: Optional[Callable[[Packet, str, int], None]] = None
         for src, sport, _dst, _dport in topology.channels():
             link = self.routers[src].out_links[sport]
             if link is not None:
@@ -161,6 +176,26 @@ class Network:
         for router in self.routers:
             router.obs = None
 
+    def attach_faults(self, injector) -> None:
+        """Attach a fault injector to the network and all its routers."""
+        self.faults = injector
+        for router in self.routers:
+            router.faults = injector
+
+    def detach_faults(self) -> None:
+        """Remove the fault injector; fault taps revert to no-ops."""
+        self.faults = None
+        for router in self.routers:
+            router.faults = None
+
+    def attach_watchdog(self, watchdog) -> None:
+        """Attach a deadlock/livelock watchdog (read-only: cannot change
+        simulation results)."""
+        self.watchdog = watchdog
+
+    def detach_watchdog(self) -> None:
+        self.watchdog = None
+
     def begin_measurement(self) -> None:
         """Open the measurement window: snapshot event counters so that
         utilization and power cover exactly the window."""
@@ -212,11 +247,13 @@ class Network:
             payload=payload,
         )
 
-    def enqueue(self, packet: Packet) -> bool:
+    def enqueue(self, packet: Packet, retransmit: bool = False) -> bool:
         """Queue ``packet`` at its source node.
 
         Returns ``False`` (and drops the packet) when the source queue is
         at its configured limit -- the closed-loop/back-pressured setting.
+        ``retransmit`` re-queues a previously offered packet (the NI
+        recovery path) without double-counting it in ``packets_offered``.
         """
         source = self.sources[packet.src]
         limit = self.config.source_queue_limit
@@ -224,7 +261,7 @@ class Network:
             if self.obs is not None:
                 self.obs.on_packet_dropped(packet, self.cycle)
             return False
-        if packet.measured:
+        if packet.measured and not retransmit:
             self._stats.packets_offered += 1
         source.queue.append(packet)
         self.packets_in_flight += 1
@@ -242,6 +279,8 @@ class Network:
             self._step_profiled()
             return
         cycle = self.cycle
+        if self.faults is not None:
+            self.faults.tick(self, cycle)
         self._deliver_arrivals(cycle)
         self._deliver_credits(cycle)
         self._inject(cycle)
@@ -261,6 +300,8 @@ class Network:
                 router.sample_occupancy()
         if self.obs is not None:
             self.obs.on_cycle_end(cycle, self.measuring)
+        if self.watchdog is not None:
+            self.watchdog.check(self, cycle)
         self.cycle = cycle + 1
 
     def _step_profiled(self) -> None:
@@ -272,6 +313,8 @@ class Network:
         path stays free of timing overhead.
         """
         cycle = self.cycle
+        if self.faults is not None:
+            self.faults.tick(self, cycle)
         t0 = perf_counter()
         self._deliver_arrivals(cycle)
         t1 = perf_counter()
@@ -297,6 +340,8 @@ class Network:
                 router.sample_occupancy()
         if self.obs is not None:
             self.obs.on_cycle_end(cycle, self.measuring)
+        if self.watchdog is not None:
+            self.watchdog.check(self, cycle)
         t6 = perf_counter()
         self.profiler.record_step(
             t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4, t6 - t5
@@ -327,7 +372,15 @@ class Network:
         events = self._arrivals.pop(cycle, None)
         if not events:
             return
+        faults = self.faults
         for router_id, port, vc, flit in events:
+            if faults is not None and (
+                router_id in faults.dead_routers
+                or (router_id, port) in faults.dead_ports
+            ):
+                # The channel died under the flit mid-flight (its packet
+                # was purged by the injector when the fault applied).
+                continue
             self.routers[router_id].write_flit(port, vc, flit, cycle)
 
     def _deliver_credits(self, cycle: int) -> None:
@@ -346,9 +399,15 @@ class Network:
     def _inject(self, cycle: int) -> None:
         topo = self.topology
         obs = self.obs
+        faults = self.faults
         for node, source in enumerate(self.sources):
             if not source.mid_packet and not source.queue:
                 continue
+            if (
+                faults is not None
+                and topo.router_of_node(node) in faults.dead_routers
+            ):
+                continue  # the node fell off the network with its router
             router = self.routers[topo.router_of_node(node)]
             port = topo.local_port_of_node(node)
             lanes = router.config.lanes if self.config.flit_merging else 1
@@ -391,7 +450,13 @@ class Network:
         sources.
         """
         fallback, fallback_free = None, 0
+        faults = self.faults
         for vc in range(router.config.num_vcs):
+            if (
+                faults is not None
+                and (router.router_id, port, vc) in faults.stuck_vcs
+            ):
+                continue  # do not feed a stuck VC
             free = router.free_slots(port, vc)
             if free == 0:
                 continue
@@ -431,7 +496,18 @@ class Network:
                     packet.hops += 1
                     if packet.min_lanes is not None:
                         lanes = link.lanes if self.config.flit_merging else 1
+                        if (
+                            self.faults is not None
+                            and (rid, grant.out_port)
+                            in self.faults.degraded_ports
+                        ):
+                            lanes = 1
                         packet.min_lanes = min(packet.min_lanes, lanes)
+                if (
+                    self.faults is not None
+                    and (rid, grant.out_port) in self.faults.flaky_ports
+                ):
+                    packet.corrupted = True  # bit-flip fault on this channel
                 self._arrivals.setdefault(cycle + link.delay, []).append(
                     (link.dst_router, link.dst_port, grant.out_vc, flit)
                 )
@@ -473,6 +549,15 @@ class Network:
     def _complete_packet(self, packet: Packet, cycle: int) -> None:
         packet.received_at = cycle
         self.packets_in_flight -= 1
+        self.total_delivered += 1
+        if packet.corrupted:
+            # A bit-flip fault mangled this packet in transit: the
+            # destination NI discards it, so it contributes to no stats;
+            # the ``on_delivery`` callback still fires so the NI can
+            # schedule its retransmission.
+            if self.on_delivery is not None:
+                self.on_delivery(packet, cycle)
+            return
         if self.measuring:
             self._stats.window_packet_deliveries += 1
             self._stats.window_flit_deliveries += packet.num_flits
@@ -519,6 +604,170 @@ class Network:
             blocking=blocking,
             packet_class=packet.packet_class,
         )
+
+    # -- fault recovery ------------------------------------------------------------
+    def _element_alive(self, router_id: int, port: int) -> bool:
+        faults = self.faults
+        if faults is None:
+            return True
+        return (
+            router_id not in faults.dead_routers
+            and (router_id, port) not in faults.dead_ports
+        )
+
+    def purge_packet(self, packet: Packet) -> bool:
+        """Remove every trace of ``packet`` from the network.
+
+        Flits are deleted from source queues, router buffers and
+        in-flight link events; credits the packet consumed are restored
+        directly at every *live* upstream router (dead elements are
+        reconciled by the fault exemption in the invariant checker) and
+        its downstream VC claims are released.  Used by the fault
+        injector for packets damaged by a kill, and by the NI
+        retransmission timeout as recovery from wedged wormholes.
+
+        Returns ``True`` when any trace was found (and one in-flight
+        packet was therefore retired); a second purge of the same packet
+        is a no-op.
+        """
+        pid = packet.packet_id
+        topo = self.topology
+        found = False
+
+        source = self.sources[packet.src]
+        if packet in source.queue:
+            source.queue.remove(packet)
+            found = True
+        if source.flits and source.flits[0].packet is packet:
+            source.flits = []
+            source.next_flit = 0
+            source.vc = None
+            found = True
+
+        for router in self.routers:
+            rid = router.router_id
+            for (port, vc) in list(router._active):
+                state = router._vc_states[port][vc]
+                before = len(state.queue)
+                if any(f.packet is packet for f in state.queue):
+                    kept = [f for f in state.queue if f.packet is not packet]
+                    state.queue.clear()
+                    state.queue.extend(kept)
+                removed = before - len(state.queue)
+                if removed:
+                    found = True
+                    router.occupied_flits -= removed
+                    if not state.queue and router._active.pop(
+                        (port, vc), None
+                    ):
+                        router._port_active[port] -= 1
+                    if not topo.is_local_port(rid, port):
+                        upstream = topo.neighbor(rid, port)
+                        if upstream is not None and self._element_alive(
+                            *upstream
+                        ):
+                            up_router, up_port = upstream
+                            for _ in range(removed):
+                                self.routers[up_router].return_credit(
+                                    up_port, vc
+                                )
+            # Reset *every* VC state the packet owns, not just the active
+            # (non-empty) ones scanned above: a mid-wormhole input VC whose
+            # flits have all been forwarded sits empty but still carries
+            # the packet's id, route and downstream claim.  Retransmission
+            # reuses packet ids, so a stale state would make the resent
+            # packet skip RC/VA and stream onto a VC it no longer owns.
+            for port in range(router.num_ports):
+                for vc in range(router.config.num_vcs):
+                    if router._vc_states[port][vc].packet_id == pid:
+                        router._vc_states[port][vc].reset_packet()
+                        found = True
+
+        for when in list(self._arrivals):
+            events = self._arrivals[when]
+            kept_events = []
+            for event in events:
+                router_id, port, vc, flit = event
+                if flit.packet is not packet:
+                    kept_events.append(event)
+                    continue
+                found = True
+                upstream = topo.neighbor(router_id, port)
+                if upstream is not None and self._element_alive(*upstream):
+                    self.routers[upstream[0]].return_credit(upstream[1], vc)
+            if kept_events:
+                self._arrivals[when] = kept_events
+            else:
+                del self._arrivals[when]
+
+        # Release the packet's downstream VC claims, and defuse any
+        # in-flight release events aimed at those claims so they cannot
+        # free a VC a *new* packet wins in the meantime.
+        released = set()
+        for router in self.routers:
+            for port in range(router.num_ports):
+                owners = router.out_vc_owner[port]
+                for vc, owner in enumerate(owners):
+                    if owner == pid:
+                        owners[vc] = None
+                        released.add((router.router_id, port, vc))
+        if released:
+            for when, events in self._credits.items():
+                self._credits[when] = [
+                    (rid, port, vc, release and (rid, port, vc) not in released)
+                    for rid, port, vc, release in events
+                ]
+
+        if found:
+            self.packets_in_flight -= 1
+        return found
+
+    def reconcile_channel_credits(self, revived) -> None:
+        """Re-derive upstream credit counts for just-repaired channels.
+
+        While an element is dead, purges deliberately skip restoring
+        credits at dead routers/ports (the invariant checker exempts
+        dead channels instead), so a channel comes back from a repair
+        with its upstream counter short by every flit discarded during
+        the outage.  For each revived ``(router, port)`` downstream
+        endpoint, recompute ``held = depth - buffered - on_link -
+        returning`` from the actual queues and in-flight events so the
+        repaired channel runs at full credit again.
+        """
+        arrivals: Dict[Tuple[int, int, int], int] = {}
+        for events in self._arrivals.values():
+            for router_id, port, vc, _flit in events:
+                key = (router_id, port, vc)
+                arrivals[key] = arrivals.get(key, 0) + 1
+        returning: Dict[Tuple[int, int, int], int] = {}
+        for events in self._credits.values():
+            for router_id, port, vc, _release in events:
+                key = (router_id, port, vc)
+                returning[key] = returning.get(key, 0) + 1
+        for rid, port in revived:
+            if not self._element_alive(rid, port):
+                continue  # still dead via an overlapping fault
+            upstream = self.topology.neighbor(rid, port)
+            if upstream is None or not self._element_alive(*upstream):
+                continue
+            up_router = self.routers[upstream[0]]
+            sport = upstream[1]
+            depth = up_router._credit_ceiling[sport]
+            down_states = self.routers[rid]._vc_states[port]
+            for vc in range(up_router.out_vc_count[sport]):
+                up_router.out_credits[sport][vc] = (
+                    depth
+                    - len(down_states[vc].queue)
+                    - arrivals.get((rid, port, vc), 0)
+                    - returning.get((upstream[0], sport, vc), 0)
+                )
+
+    def report_packet_lost(self, packet: Packet, reason: str, cycle: int) -> None:
+        """Tell the recovery/observation layers a fault purged ``packet``."""
+        if self.obs is not None:
+            self.obs.on_packet_lost(packet, reason, cycle)
+        if self.on_loss is not None:
+            self.on_loss(packet, reason, cycle)
 
     # -- diagnostics ---------------------------------------------------------------
     def total_buffered_flits(self) -> int:

@@ -116,6 +116,10 @@ class Router:
         # Observation hooks, shared with the owning network (see
         # Network.attach_observer); None keeps the fast path.
         self.obs = None
+        # Live fault state, shared with the owning network (see
+        # Network.attach_faults); None keeps the fast path -- same
+        # single-attribute-check discipline as ``obs``.
+        self.faults = None
 
     # -- wiring (called by the network while building) ----------------------
     def attach_output(self, port: int, link: Optional[Link],
@@ -179,6 +183,17 @@ class Router:
                 state.route_port = routing.output_port(self.router_id, packet)
                 state.out_vc = None
                 self.activity.route_computations += 1
+            faults = self.faults
+            if (
+                faults is not None
+                and state.out_vc is None
+                and flit.is_head
+                and faults.port_dead(self.router_id, state.route_port)
+            ):
+                # The routed channel died before the wormhole committed:
+                # re-run RC (the fault-aware routing detours around it).
+                state.route_port = routing.output_port(self.router_id, packet)
+                self.activity.route_computations += 1
             if state.out_vc is not None or flit.ready_at > cycle:
                 continue
             out_port = state.route_port
@@ -192,6 +207,10 @@ class Router:
             for cand_port, cand_vc, escaped in routing.va_candidates(
                 self.router_id, packet, out_port, self.out_vc_count
             ):
+                if faults is not None and not self._candidate_alive(
+                    faults, cand_port, cand_vc
+                ):
+                    continue
                 if self.out_vc_owner[cand_port][cand_vc] is None:
                     self.out_vc_owner[cand_port][cand_vc] = packet.packet_id
                     state.out_vc = cand_vc
@@ -207,10 +226,27 @@ class Router:
                     break
 
     # -- stage 2b: switch allocation ------------------------------------------
+    def _candidate_alive(self, faults, cand_port: int, cand_vc: int) -> bool:
+        """Whether a VA candidate's channel and downstream VC are usable."""
+        if faults.port_dead(self.router_id, cand_port):
+            return False
+        link = self.out_links[cand_port]
+        if link is not None and (
+            (link.dst_router, link.dst_port, cand_vc) in faults.stuck_vcs
+        ):
+            return False
+        return True
+
     def _eligible_vcs(self, port: int, cycle: int) -> List[int]:
         """VCs of ``port`` whose head flit could traverse the switch now."""
         eligible = []
+        faults = self.faults
         for vc in range(self.config.num_vcs):
+            if (
+                faults is not None
+                and (self.router_id, port, vc) in faults.stuck_vcs
+            ):
+                continue  # this input VC stopped arbitrating
             state = self._vc_states[port][vc]
             if not state.queue:
                 continue
@@ -222,6 +258,9 @@ class Router:
             if state.packet_id != flit.packet.packet_id:
                 continue  # new packet still needs RC/VA
             out_port = state.route_port
+            if faults is not None and not self.is_ejection[out_port]:
+                if faults.port_dead(self.router_id, out_port):
+                    continue  # committed across a dead channel; purge pending
             if self.is_ejection[out_port]:
                 eligible.append(vc)
             elif self.out_credits[out_port][state.out_vc] > 0:
@@ -232,7 +271,14 @@ class Router:
         if self.is_ejection[port]:
             return self.config.lanes
         link = self.out_links[port]
-        return link.lanes if link is not None else 0
+        if link is None:
+            return 0
+        if (
+            self.faults is not None
+            and (self.router_id, port) in self.faults.degraded_ports
+        ):
+            return 1  # wide link fallen back to narrow operation
+        return link.lanes
 
     def allocate_switch(self, cycle: int) -> List[Grant]:
         """SA (both sub-stages) and the wide-link second-grant pass."""

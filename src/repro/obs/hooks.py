@@ -21,6 +21,11 @@ hook                      fired when
 ``on_credit_return``      an upstream router receives a credit back
 ``on_cycle_end``          the network finished one clock cycle
 ``on_drain_truncated``    the run driver gave up draining measured packets
+``on_fault_applied``      the fault injector activated a fault
+``on_fault_repaired``     the fault injector repaired a fault
+``on_packet_lost``        a packet was declared lost (purged or retries out)
+``on_packet_retransmitted``  the NI re-sent a lost/corrupted/timed-out packet
+``on_stall_diagnosed``    the watchdog detected deadlock/livelock
 ========================  =====================================================
 
 Hooks fire regardless of the measurement window; observers that want to
@@ -111,6 +116,25 @@ class Observer:
         """The run driver hit its drain-cycle cap with
         ``in_flight_measured`` measured packets still undelivered."""
 
+    def on_fault_applied(self, spec, cycle: int) -> None:
+        """The fault injector activated ``spec``
+        (a :class:`repro.faults.schedule.FaultSpec`)."""
+
+    def on_fault_repaired(self, spec, cycle: int) -> None:
+        """The fault injector repaired ``spec``."""
+
+    def on_packet_lost(self, packet, reason: str, cycle: int) -> None:
+        """``packet`` was declared lost (``reason`` in ``{"fault",
+        "unreachable", "retries_exhausted"}``)."""
+
+    def on_packet_retransmitted(self, packet, attempt: int, cycle: int) -> None:
+        """The NI re-sent ``packet`` (``attempt`` counts sends so far)."""
+
+    def on_stall_diagnosed(self, diagnosis, cycle: int) -> None:
+        """The watchdog built a
+        :class:`repro.faults.watchdog.StallDiagnosis`; a
+        :class:`~repro.faults.watchdog.SimulationStalled` follows."""
+
 
 class CompositeObserver(Observer):
     """Fans every event out to an ordered list of child observers."""
@@ -197,6 +221,26 @@ class CompositeObserver(Observer):
     def on_drain_truncated(self, in_flight_measured: int, cycle: int) -> None:
         for child in self.children:
             child.on_drain_truncated(in_flight_measured, cycle)
+
+    def on_fault_applied(self, spec, cycle: int) -> None:
+        for child in self.children:
+            child.on_fault_applied(spec, cycle)
+
+    def on_fault_repaired(self, spec, cycle: int) -> None:
+        for child in self.children:
+            child.on_fault_repaired(spec, cycle)
+
+    def on_packet_lost(self, packet, reason: str, cycle: int) -> None:
+        for child in self.children:
+            child.on_packet_lost(packet, reason, cycle)
+
+    def on_packet_retransmitted(self, packet, attempt: int, cycle: int) -> None:
+        for child in self.children:
+            child.on_packet_retransmitted(packet, attempt, cycle)
+
+    def on_stall_diagnosed(self, diagnosis, cycle: int) -> None:
+        for child in self.children:
+            child.on_stall_diagnosed(diagnosis, cycle)
 
 
 class EventLog(Observer):
@@ -292,3 +336,18 @@ class EventLog(Observer):
 
     def on_drain_truncated(self, in_flight_measured: int, cycle: int) -> None:
         self._log("drain_truncated", cycle, in_flight_measured)
+
+    def on_fault_applied(self, spec, cycle: int) -> None:
+        self._log("fault_applied", cycle, spec.kind, spec.router, spec.port)
+
+    def on_fault_repaired(self, spec, cycle: int) -> None:
+        self._log("fault_repaired", cycle, spec.kind, spec.router, spec.port)
+
+    def on_packet_lost(self, packet, reason: str, cycle: int) -> None:
+        self._log("packet_lost", cycle, packet.packet_id, reason)
+
+    def on_packet_retransmitted(self, packet, attempt: int, cycle: int) -> None:
+        self._log("packet_retransmitted", cycle, packet.packet_id, attempt)
+
+    def on_stall_diagnosed(self, diagnosis, cycle: int) -> None:
+        self._log("stall_diagnosed", cycle, diagnosis.kind, len(diagnosis.blocked))

@@ -173,8 +173,15 @@ class Progress:
 def make_progress_printer(
     stream=None, min_interval_s: float = 1.0
 ) -> Callable[[Progress], None]:
-    """A ``progress`` callback printing at most one line per interval."""
-    out = stream if stream is not None else sys.stderr
+    """A ``progress`` callback printing at most one line per interval.
+
+    With ``stream=None`` the *current* ``sys.stderr`` is resolved at
+    every print: these printers get installed as long-lived engine
+    defaults (``repro.exec.configure``), and a stream captured at
+    construction time can be redirected or closed long before the next
+    sweep runs.  A closed stream never kills the sweep it narrates --
+    the heartbeat is dropped instead.
+    """
     last = [0.0]
 
     def _print(progress: Progress) -> None:
@@ -182,6 +189,10 @@ def make_progress_printer(
         if now - last[0] < min_interval_s:
             return
         last[0] = now
-        print(progress, file=out)
+        out = stream if stream is not None else sys.stderr
+        try:
+            print(progress, file=out)
+        except ValueError:
+            pass  # stream closed between sweeps; progress is best-effort
 
     return _print

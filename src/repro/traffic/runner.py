@@ -18,16 +18,26 @@ phase timings and cycles/second, and ``progress=`` to receive periodic
 
 from __future__ import annotations
 
+import os
 import random
 import time
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 from repro.noc.network import Network
 from repro.noc.stats import NetworkStats
 from repro.obs.profiler import Progress, RunProfiler
 from repro.traffic.patterns import TrafficPattern
 from repro.traffic.selfsimilar import BernoulliInjector
+
+
+class DrainAccountingError(RuntimeError):
+    """A measured packet fell through the accounting at end of run.
+
+    Every measured packet must finish as a latency record, an explicit
+    loss, or (saturated runs only) a reported unfinished in-flight
+    packet; anything else means the driver silently truncated its
+    sample."""
 
 
 @dataclass
@@ -44,6 +54,12 @@ class SyntheticRunResult:
     #: (0 unless ``saturated``); their latency records are missing from
     #: ``stats.records``, so the recorded population is survivorship-biased.
     unfinished_measured_packets: int = 0
+    #: measured packets declared lost by the NI recovery layer (only
+    #: possible under a fault schedule with bounded retries).
+    lost_measured_packets: int = 0
+    #: NI/fault-layer counters for the run (empty for fault-free runs):
+    #: retransmissions, corrupt/clean deliveries, losses, fault events.
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def avg_latency_cycles(self) -> float:
@@ -64,6 +80,7 @@ def _offer_load(
     rng: random.Random,
     budget: Optional[int] = None,
     on_create: Optional[Callable[..., None]] = None,
+    send: Optional[Callable[..., bool]] = None,
 ) -> int:
     """Offer one cycle of load at every node; returns packets created.
 
@@ -76,9 +93,12 @@ def _offer_load(
     golden-run tests assert.
 
     ``on_create`` (if given) sees each packet after construction and
-    before it is enqueued, so it may mark it measured.
+    before it is enqueued, so it may mark it measured.  ``send``
+    replaces ``network.enqueue`` as the delivery path (the NI
+    retransmission layer plugs in here under a fault schedule).
     """
     created = 0
+    enqueue = send if send is not None else network.enqueue
     for node in range(network.topology.num_nodes):
         if not injector.fires(node, rng):
             continue
@@ -87,7 +107,7 @@ def _offer_load(
         packet = network.make_packet(node, pattern.destination(node, rng))
         if on_create is not None:
             on_create(packet)
-        network.enqueue(packet)
+        enqueue(packet)
         created += 1
     return created
 
@@ -105,6 +125,8 @@ def run_synthetic(
     profiler: Optional[RunProfiler] = None,
     progress: Optional[Callable[[Progress], None]] = None,
     progress_every: int = 2000,
+    faults=None,
+    watchdog="auto",
 ) -> SyntheticRunResult:
     """Drive ``network`` with an open-loop synthetic load.
 
@@ -128,6 +150,18 @@ def run_synthetic(
             :class:`~repro.obs.profiler.Progress` heartbeat every
             ``progress_every`` cycles.
         progress_every: heartbeat period in simulated cycles.
+        faults: optional :class:`repro.faults.schedule.FaultSchedule`.
+            When given, the run wires up the whole resilience stack:
+            fault injector, fault-aware rerouting, and the NI
+            end-to-end retransmission layer (all traffic then flows
+            through the NI, and measured packets that exhaust their
+            retries are *explicitly* counted lost, never dropped).
+        watchdog: ``"auto"`` (default) attaches a deadlock/livelock
+            :class:`repro.faults.watchdog.Watchdog` when a fault
+            schedule is active or ``REPRO_CHECK=1`` is set in the
+            environment (which also enables the invariant checks); pass
+            a :class:`~repro.faults.watchdog.Watchdog` to force one, or
+            ``None`` to disable.
 
     Returns a :class:`SyntheticRunResult`; ``saturated`` is set when the
     drain phase hit its cycle cap, meaning the offered load exceeded the
@@ -146,6 +180,52 @@ def run_synthetic(
 
     if observer is not None:
         network.attach_observer(observer)
+
+    ni = None
+    retransmit_timeout = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.retransmit import (
+            RetransmissionManager,
+            default_timeout,
+        )
+        from repro.faults.routing import FaultAwareRouting
+
+        fault_injector = FaultInjector(faults, network.topology)
+        fault_routing = FaultAwareRouting(network.routing, fault_injector)
+        fault_injector.set_routing(fault_routing)
+        network.routing = fault_routing
+        network.attach_faults(fault_injector)
+        retransmit_timeout = faults.retransmit_timeout or default_timeout(
+            network
+        )
+        ni = RetransmissionManager(
+            network,
+            retransmit_timeout,
+            max_retries=faults.max_retries,
+            backoff_factor=faults.backoff_factor,
+        )
+        network.on_delivery = ni.on_delivery
+        network.on_loss = ni.on_loss
+
+    repro_check = os.environ.get("REPRO_CHECK") == "1"
+    if watchdog == "auto":
+        watchdog = None
+        if faults is not None or repro_check:
+            from repro.faults.watchdog import Watchdog
+
+            # The stall window must outlast a full NI retransmission
+            # timeout, or a legitimately wedged-then-recovered packet
+            # would be misdiagnosed as deadlock.
+            stall = 2_000
+            if retransmit_timeout is not None:
+                stall = max(stall, 2 * retransmit_timeout)
+            watchdog = Watchdog(
+                stall_window=stall, check_invariants=repro_check
+            )
+    if watchdog is not None:
+        network.attach_watchdog(watchdog)
+
     if profiler is not None:
         network.profiler = profiler
         profiler.start()
@@ -175,8 +255,17 @@ def run_synthetic(
                     profiler.enter_run_phase("measure")
         created += 1
 
+    send = ni.send if ni is not None else None
+
+    def _accounted() -> int:
+        """Measured packets finished: recorded or explicitly lost."""
+        lost = ni.lost_measured if ni is not None else 0
+        return len(network.stats.records) + lost
+
     network.reset_stats()
     while created < target:
+        if ni is not None:
+            ni.tick(network.cycle)
         _offer_load(
             network,
             pattern,
@@ -184,6 +273,7 @@ def run_synthetic(
             rng,
             budget=target - created,
             on_create=_mark_measured,
+            send=send,
         )
         network.step()
         if progress is not None and network.cycle % progress_every == 0:
@@ -199,28 +289,51 @@ def run_synthetic(
         profiler.enter_run_phase("drain")
     drain_deadline = network.cycle + drain_cycle_cap
     saturated = False
-    while len(network.stats.records) < measure_packets:
+    while _accounted() < measure_packets:
         if network.cycle >= drain_deadline:
             saturated = True
             break
-        _offer_load(network, pattern, injector, rng)
+        if ni is not None:
+            ni.tick(network.cycle)
+        _offer_load(network, pattern, injector, rng, send=send)
         network.step()
         if progress is not None and network.cycle % progress_every == 0:
-            _heartbeat("drain", len(network.stats.records), measure_packets)
+            _heartbeat("drain", _accounted(), measure_packets)
 
     stats = network.stats
+    lost_measured = ni.lost_measured if ni is not None else 0
     unfinished = 0
     if saturated:
         # The drain gave up with measured packets still inside the network
         # (or its source queues); report how many records are missing
         # instead of silently truncating the latency sample.
-        unfinished = stats.packets_offered - len(stats.records)
+        unfinished = stats.packets_offered - len(stats.records) - lost_measured
         stats.saturated = True
         if network.obs is not None:
             network.obs.on_drain_truncated(unfinished, network.cycle)
+    else:
+        # Satellite accounting guarantee: every measured packet the
+        # network accepted must now be a latency record or an explicit
+        # loss -- anything else is silent truncation, which used to
+        # corrupt the recorded sample without a trace.
+        outstanding = ni.outstanding_measured() if ni is not None else 0
+        missing = stats.packets_offered - len(stats.records) - lost_measured
+        if missing != 0 or outstanding != 0:
+            raise DrainAccountingError(
+                f"{stats.packets_offered} measured packets offered but "
+                f"{len(stats.records)} recorded + {lost_measured} lost "
+                f"({outstanding} still tracked by the NI) after a clean "
+                "drain"
+            )
 
     if profiler is not None:
         profiler.stop()
+
+    resilience: Dict[str, int] = {}
+    if ni is not None:
+        resilience = ni.summary()
+        resilience["fault_events"] = len(network.faults.events)
+        resilience["retransmit_timeout"] = retransmit_timeout
 
     return SyntheticRunResult(
         stats=stats,
@@ -230,4 +343,6 @@ def run_synthetic(
         total_cycles=network.cycle,
         saturated=saturated,
         unfinished_measured_packets=unfinished,
+        lost_measured_packets=lost_measured,
+        resilience=resilience,
     )
