@@ -3,8 +3,9 @@
 Reproduces the spirit of the paper's footnote 4: an exhaustive search
 over all C(16, 8) = 12,870 placements of 8 big routers on a 4x4 mesh,
 ranked by the analytic cost model (load-weighted coverage of X-Y flows),
-plus a cycle-simulated shoot-out between the three named shapes
-(diagonal / center / rows) scaled up to the 8x8 mesh.
+a seeded annealing search of the non-enumerable 8x8 space
+(:mod:`repro.search`), plus a cycle-simulated shoot-out between the
+three named shapes (diagonal / center / rows) scaled up to the 8x8 mesh.
 
 Run:  python examples/design_space_exploration.py
 """
@@ -42,6 +43,31 @@ def exhaustive_4x4() -> None:
         )
 
 
+def annealed_8x8() -> None:
+    """The 8x8 space (C(64, 16) ~= 4.9e14) is far beyond enumeration --
+    PlacementExplorer.enumerate refuses it -- so search it with the
+    repro.search metaheuristics instead."""
+    from repro.search import PlacementEvaluator, simulated_annealing
+
+    print("\n8x8 mesh, 16 big routers: seeded annealing (enumeration impossible):")
+    evaluator = PlacementEvaluator(8)
+    result = simulated_annealing(evaluator, 16, seed=0, steps=800, restarts=2)
+    grid = [
+        "".join("B" if r * 8 + c in result.best_placement else "." for c in range(8))
+        for r in range(8)
+    ]
+    print(
+        f"  best scalar {result.best.scalar:.4f} after {result.proposals} "
+        f"proposals"
+    )
+    print(f"  (+ {result.evaluations} evaluations incl. polish); placement:")
+    for row in grid:
+        print(f"    {row}")
+    print("  (python -m repro.experiments.placement_search runs the full")
+    print("   multi-stage study: both traffic patterns, the diagonal-family")
+    print("   extrapolation, the Pareto frontier and cycle-simulated refinement)")
+
+
 def simulated_8x8() -> None:
     print("\ncycle-simulated 8x8 shoot-out (UR @ 0.05 packets/node/cycle):")
     for name in ("baseline", "center+BL", "row2_5+BL", "diagonal+BL"):
@@ -58,4 +84,5 @@ def simulated_8x8() -> None:
 
 if __name__ == "__main__":
     exhaustive_4x4()
+    annealed_8x8()
     simulated_8x8()

@@ -116,8 +116,35 @@ class PlacementExplorer:
             spread=spread,
         )
 
-    def enumerate(self, num_big: int) -> Iterable[PlacementScore]:
-        """Score every placement of ``num_big`` big routers (lazy)."""
+    #: Exhaustive enumeration above this many placements is refused.
+    #: Footnote 4's largest 4x4 space is 12,870; anything over the limit
+    #: (e.g. C(64, 16) ~= 4.9e14 on 8x8) belongs to the metaheuristics
+    #: in :mod:`repro.search`.
+    MAX_ENUMERATION = 200_000
+
+    def _check_enumerable(self, num_big: int, max_enumeration: Optional[int]) -> None:
+        limit = self.MAX_ENUMERATION if max_enumeration is None else max_enumeration
+        count = self.count_placements(num_big)
+        if count > limit:
+            raise ValueError(
+                f"C({self.mesh.num_routers}, {num_big}) = {count:,} placements "
+                f"exceed the exhaustive enumeration limit ({limit:,}); use "
+                "repro.search (simulated_annealing / evolutionary_search) "
+                "for meshes this large"
+            )
+
+    def enumerate(
+        self, num_big: int, max_enumeration: Optional[int] = None
+    ) -> Iterable[PlacementScore]:
+        """Score every placement of ``num_big`` big routers (lazy).
+
+        Raises :class:`ValueError` up front when the space is too large
+        to enumerate (see :data:`MAX_ENUMERATION`).
+        """
+        self._check_enumerable(num_big, max_enumeration)
+        return self._enumerate(num_big)
+
+    def _enumerate(self, num_big: int) -> Iterable[PlacementScore]:
         for combo in itertools.combinations(range(self.mesh.num_routers), num_big):
             yield self.score(combo)
 
@@ -125,10 +152,17 @@ class PlacementExplorer:
         """C(num_routers, num_big) -- footnote 4's 1820 / 8008 / 12870."""
         return math.comb(self.mesh.num_routers, num_big)
 
-    def top_placements(self, num_big: int, k: int = 10) -> List[PlacementScore]:
+    def top_placements(
+        self,
+        num_big: int,
+        k: int = 10,
+        max_enumeration: Optional[int] = None,
+    ) -> List[PlacementScore]:
         """The ``k`` best placements by analytic score."""
         ranked = sorted(
-            self.enumerate(num_big), key=lambda s: s.score, reverse=True
+            self.enumerate(num_big, max_enumeration=max_enumeration),
+            key=lambda s: s.score,
+            reverse=True,
         )
         return ranked[:k]
 
@@ -150,13 +184,18 @@ class PlacementExplorer:
             if len(positions) == num_big
         }
 
-    def rank_of(self, big_positions: Iterable[int], num_big: Optional[int] = None) -> int:
+    def rank_of(
+        self,
+        big_positions: Iterable[int],
+        num_big: Optional[int] = None,
+        max_enumeration: Optional[int] = None,
+    ) -> int:
         """1-based rank of a placement among all same-size placements."""
         target = self.score(big_positions)
         num_big = num_big if num_big is not None else len(target.big_positions)
         better = sum(
             1
-            for s in self.enumerate(num_big)
+            for s in self.enumerate(num_big, max_enumeration=max_enumeration)
             if s.score > target.score
         )
         return better + 1
@@ -167,40 +206,31 @@ class PlacementExplorer:
         rate: float = 0.08,
         measure_packets: int = 400,
         seed: int = 5,
+        **sweep_kwargs,
     ) -> List[dict]:
         """Cycle-simulate candidate placements and rank by measured latency.
 
         This is the second stage of the paper's methodology: the analytic
         score pre-filters the thousands of placements, and the survivors
-        are compared with the real simulator.  Returns one record per
-        placement, sorted by average latency.
+        are compared with the real simulator.  Each candidate becomes a
+        :class:`repro.exec.SweepPoint` executed through
+        :func:`repro.exec.run_sweep`, so runs parallelize across
+        ``REPRO_JOBS`` processes, hit the on-disk result cache, and stay
+        bit-identical regardless of job count.  Extra keyword arguments
+        (``jobs``, ``cache``, ``progress``, ...) pass through to
+        ``run_sweep``.  Returns one record per placement, sorted by
+        average latency.
         """
-        from repro.core.layouts import custom_layout, build_network
-        from repro.traffic.patterns import UniformRandom
-        from repro.traffic.runner import run_synthetic
+        from repro.search.refine import refine_placements
 
-        results = []
-        for index, positions in enumerate(placements):
-            positions = set(positions)
-            layout = custom_layout(
-                f"candidate-{index}", positions, mesh_size=self.mesh.width
-            )
-            network = build_network(layout)
-            run = run_synthetic(
-                network,
-                UniformRandom(network.topology.num_nodes),
-                rate,
-                warmup_packets=max(50, measure_packets // 8),
-                measure_packets=measure_packets,
-                seed=seed,
-            )
-            results.append(
-                {
-                    "big_positions": frozenset(positions),
-                    "latency_cycles": run.stats.avg_latency_cycles,
-                    "throughput": run.throughput_packets_per_node_cycle,
-                    "analytic_score": self.score(positions).score,
-                }
-            )
-        results.sort(key=lambda r: r["latency_cycles"])
-        return results
+        records = refine_placements(
+            list(placements),
+            self.mesh.width,
+            rate=rate,
+            seed=seed,
+            measure_packets=measure_packets,
+            **sweep_kwargs,
+        )
+        for record in records:
+            record["analytic_score"] = self.score(record["big_positions"]).score
+        return records

@@ -18,8 +18,9 @@ al. co-evaluation (Section 6) and the asymmetric-CMP floorplan
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.core.power import heteronoc_frequency_ghz
 from repro.noc.config import (
@@ -202,25 +203,49 @@ def all_layouts(mesh_size: int = 8) -> List[Layout]:
 
 def custom_layout(
     name: str,
-    big_positions: Set[int],
+    big_positions: Iterable[int],
     mesh_size: int = 8,
     redistribute_links: bool = True,
+    check_power: bool = False,
 ) -> Layout:
     """A heterogeneous layout with an arbitrary big-router placement.
 
     Used by the design-space exploration and the sensitivity studies; the
-    named Figure 3 layouts are special cases.  The caller is responsible
-    for checking the power inequality (``repro.core.hetero``) if power
-    neutrality is desired.
+    named Figure 3 layouts are special cases.  Positions must be distinct
+    integers inside the mesh.  With ``check_power=True`` the layout must
+    also satisfy the Section 2 power inequality (at most
+    ``mesh_size**2 - repro.core.hetero.min_small_routers(mesh_size)`` big
+    routers); by default the check is skipped, since the footnote-4
+    4x4 sweeps deliberately explore over-budget mixes.
     """
+    positions = list(big_positions)
+    non_int = [p for p in positions if not isinstance(p, int) or isinstance(p, bool)]
+    if non_int:
+        raise ValueError(
+            f"big positions must be plain ints, got {non_int!r}"
+        )
+    duplicates = sorted(p for p, c in Counter(positions).items() if c > 1)
+    if duplicates:
+        raise ValueError(f"duplicate big positions: {duplicates}")
     n_routers = mesh_size * mesh_size
-    bad = [p for p in big_positions if not 0 <= p < n_routers]
+    bad = [p for p in positions if not 0 <= p < n_routers]
     if bad:
         raise ValueError(f"big positions outside the mesh: {sorted(bad)}")
+    if check_power:
+        from repro.core.hetero import min_small_routers
+
+        max_big = n_routers - min_small_routers(mesh_size)
+        if len(positions) > max_big:
+            raise ValueError(
+                f"{len(positions)} big routers exceed the power budget: the "
+                f"Section 2 inequality allows at most {max_big} on a "
+                f"{mesh_size}x{mesh_size} mesh "
+                f"(needs >= {min_small_routers(mesh_size)} small routers)"
+            )
     return Layout(
         name=name,
         mesh_size=mesh_size,
-        big_positions=frozenset(big_positions),
+        big_positions=frozenset(positions),
         redistribute_links=redistribute_links,
     )
 

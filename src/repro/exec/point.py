@@ -85,10 +85,27 @@ class SweepPoint:
                 f"{self.topology} networks are homogeneous; layouts do not apply"
             )
         if self.big_positions is not None:
+            positions = tuple(self.big_positions)
+            non_int = [
+                p for p in positions
+                if not isinstance(p, int) or isinstance(p, bool)
+            ]
+            if non_int:
+                raise ValueError(
+                    f"big_positions must be plain ints, got {non_int!r}"
+                )
+            if len(set(positions)) != len(positions):
+                raise ValueError(
+                    f"duplicate big_positions: {sorted(positions)}"
+                )
+            bad = [p for p in positions if not 0 <= p < self.mesh_size**2]
+            if bad:
+                raise ValueError(
+                    f"big_positions outside the {self.mesh_size}x"
+                    f"{self.mesh_size} mesh: {sorted(bad)}"
+                )
             # Canonical order so that equal placements hash equally.
-            object.__setattr__(
-                self, "big_positions", tuple(sorted(self.big_positions))
-            )
+            object.__setattr__(self, "big_positions", tuple(sorted(positions)))
         if self.faults is not None:
             from repro.faults.schedule import FaultSchedule
 

@@ -18,5 +18,7 @@ fig11_applications          Fig 11 - application latency/power (CMP)
 fig12_ipc                   Fig 12 - IPC improvements (CMP)
 fig13_memctrl               Fig 13 - memory-controller co-design
 fig14_asymmetric            Fig 14 - asymmetric CMP + table routing
+placement_search            Footnote 4 - exhaustive 4x4 placement
+                            search, 8x8 metaheuristics + refinement
 ==========================  ==========================================
 """

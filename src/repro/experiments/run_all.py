@@ -45,6 +45,7 @@ from repro.experiments import (
     fig12_ipc,
     fig13_memctrl,
     fig14_asymmetric,
+    placement_search,
     resilience,
     sensitivity_big_routers,
     table1_router_model,
@@ -65,6 +66,7 @@ HARNESSES = {
     "ablations": ablation_mechanisms.main,
     "sensitivity": sensitivity_big_routers.main,
     "resilience": resilience.main,
+    "search": placement_search.main,
 }
 
 

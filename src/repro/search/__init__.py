@@ -1,0 +1,62 @@
+"""Scalable placement search and design-space optimization.
+
+The paper exhaustively searched every big-router placement on a 4x4 mesh
+(footnote 4: 1820 / 8008 / 12870 configurations) and extrapolated the
+winning *shapes* to 8x8.  On the 8x8 mesh itself the same search is
+C(64, 16) ~= 4.9e14 placements -- far beyond enumeration -- so this
+package searches it directly with metaheuristics:
+
+* :mod:`repro.search.canonical` -- the mesh's 8 dihedral symmetries and
+  placement canonicalization, so a search never pays twice for two
+  reflections of the same shape;
+* :mod:`repro.search.objectives` -- a pluggable multi-objective
+  evaluator: analytic load coverage (the footnote-4 pre-filter), a
+  queueing-style per-router contention estimate, per-source fairness,
+  the Table 1-calibrated power headroom and an optional resilience term
+  built on :mod:`repro.faults` kill schedules;
+* :mod:`repro.search.optimize` -- seeded simulated annealing, a small
+  evolutionary loop, exhaustive search for enumerable spaces, and the
+  Pareto-frontier helper;
+* :mod:`repro.search.refine` -- the closed loop back to the cycle
+  simulator: survivors become :class:`repro.exec.SweepPoint`s, so the
+  confirmation runs parallelize and cache like every other experiment.
+
+``python -m repro.experiments.placement_search`` drives the full
+pipeline and reproduces the paper's diagonal-family winners on 8x8.
+"""
+
+from repro.search.canonical import (
+    canonical_placement,
+    dihedral_transforms,
+    is_diagonal_family,
+    placement_orbit,
+)
+from repro.search.objectives import (
+    ObjectiveWeights,
+    PlacementEvaluator,
+    PlacementObjectives,
+)
+from repro.search.optimize import (
+    SearchResult,
+    evolutionary_search,
+    exhaustive_search,
+    pareto_frontier,
+    simulated_annealing,
+)
+from repro.search.refine import refine_placements
+
+__all__ = [
+    "ObjectiveWeights",
+    "PlacementEvaluator",
+    "PlacementObjectives",
+    "SearchResult",
+    "canonical_placement",
+    "dihedral_transforms",
+    "evolutionary_search",
+    "exhaustive_search",
+    "is_diagonal_family",
+    "pareto_frontier",
+    "placement_orbit",
+    "refine_placements",
+    "simulated_annealing",
+]

@@ -1,0 +1,145 @@
+"""Mesh symmetries and placement canonicalization.
+
+An N x N mesh has the dihedral symmetry group D4: four rotations and
+four reflections.  X-Y routing is not itself symmetric under all eight
+(it prefers the X dimension first), but the *traffic totals* the
+analytic objectives are built from are -- every transform maps the set
+of source-destination pairs onto itself and maps each router's traversal
+count onto the image router's count -- so two placements related by a
+symmetry always score identically.  Search algorithms therefore
+canonicalize every candidate: of the (up to) eight equivalent
+placements, the lexicographically smallest sorted position tuple is the
+representative, and evaluation caches / top-k archives key on it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: For each entry of :func:`dihedral_transforms`, whether the transform
+#: exchanges the row and column axes.  X-Y routing is axis-sensitive:
+#: under an axis-swapping transform the image of an X-Y path is the
+#: corresponding Y-X path, which visits the same routers as the X-Y path
+#: of the *reversed* flow -- so traffic models must weight (s, d) and
+#: (d, s) symmetrically for these four to preserve scores.
+AXIS_SWAPPING = (False, True, False, True, False, False, True, True)
+
+
+@lru_cache(maxsize=None)
+def dihedral_transforms(n: int) -> Tuple[Tuple[int, ...], ...]:
+    """The 8 symmetry maps of an ``n x n`` mesh as router-index tables.
+
+    ``dihedral_transforms(n)[t][rid]`` is where router ``rid`` lands
+    under transform ``t``.  Transform 0 is the identity; the rest are
+    the three non-trivial rotations and the four reflections
+    (horizontal, vertical, main diagonal, anti-diagonal).
+    """
+    if n < 1:
+        raise ValueError(f"mesh size must be >= 1, got {n}")
+
+    def table(move) -> Tuple[int, ...]:
+        out = []
+        for rid in range(n * n):
+            r, c = divmod(rid, n)
+            nr, nc = move(r, c)
+            out.append(nr * n + nc)
+        return tuple(out)
+
+    return (
+        table(lambda r, c: (r, c)),                  # identity
+        table(lambda r, c: (c, n - 1 - r)),          # rotate 90
+        table(lambda r, c: (n - 1 - r, n - 1 - c)),  # rotate 180
+        table(lambda r, c: (n - 1 - c, r)),          # rotate 270
+        table(lambda r, c: (r, n - 1 - c)),          # flip horizontal
+        table(lambda r, c: (n - 1 - r, c)),          # flip vertical
+        table(lambda r, c: (c, r)),                  # transpose
+        table(lambda r, c: (n - 1 - c, n - 1 - r)),  # anti-transpose
+    )
+
+
+def apply_transform(
+    positions: Iterable[int], mapping: Tuple[int, ...]
+) -> FrozenSet[int]:
+    """Image of a placement under one symmetry map."""
+    return frozenset(mapping[p] for p in positions)
+
+
+def placement_orbit(positions: Iterable[int], n: int) -> Set[FrozenSet[int]]:
+    """All distinct placements symmetric to ``positions`` (1 to 8 of them)."""
+    base = frozenset(positions)
+    return {apply_transform(base, m) for m in dihedral_transforms(n)}
+
+
+def canonical_placement(
+    positions: Iterable[int],
+    n: int,
+    transforms: Optional[Sequence[Tuple[int, ...]]] = None,
+) -> Tuple[int, ...]:
+    """The canonical representative of a placement's symmetry orbit.
+
+    Deterministic: the lexicographically smallest sorted tuple among the
+    images under ``transforms`` (default: all eight).  Two placements
+    canonicalize equal iff one of the transforms maps one onto the
+    other.  Pass a subgroup (e.g. a traffic model's
+    ``symmetry_maps``) to canonicalize only over symmetries that
+    actually preserve scores.
+    """
+    base = frozenset(positions)
+    if transforms is None:
+        transforms = dihedral_transforms(n)
+    return min(tuple(sorted(apply_transform(base, m))) for m in transforms)
+
+
+@lru_cache(maxsize=None)
+def wrapped_diagonals(n: int) -> Tuple[FrozenSet[int], ...]:
+    """The 2n full wrapped diagonals of an ``n x n`` mesh.
+
+    Offsets 0..n-1 in the main orientation (``col = (row + k) mod n``)
+    followed by offsets 0..n-1 in the anti orientation
+    (``col = (k - row) mod n``).  Each contains exactly ``n`` routers;
+    each orientation on its own partitions the mesh.
+    """
+    main = tuple(
+        frozenset(r * n + (r + k) % n for r in range(n)) for k in range(n)
+    )
+    anti = tuple(
+        frozenset(r * n + (k - r) % n for r in range(n)) for k in range(n)
+    )
+    return main + anti
+
+
+def is_diagonal_family(positions: Iterable[int], n: int) -> bool:
+    """Whether a placement is a disjoint union of full wrapped diagonals.
+
+    This is the "diagonal family" of the paper's footnote-4 discussion:
+    the Figure 3 diagonal (both main diagonals of an even mesh) is the
+    union of one main- and one anti-orientation diagonal, and the other
+    strong shapes the exhaustive search surfaces (diagonal stripes /
+    checkerboards) are unions of parallel wrapped diagonals.  Any member
+    places exactly ``num_big / n`` big routers in every row and column.
+    """
+    target = frozenset(positions)
+    if len(target) % n:
+        return False
+    bands = [d for d in wrapped_diagonals(n) if d <= target]
+    chosen: List[FrozenSet[int]] = []
+    covered: Set[int] = set()
+    # Greedy cover with disjointness; 2n candidate bands keeps this exact
+    # enough in practice because overlapping bands share exactly one or
+    # two routers and a valid cover must use pairwise-disjoint bands.
+    return _exact_disjoint_cover(target, bands, covered, chosen)
+
+
+def _exact_disjoint_cover(target, bands, covered, chosen) -> bool:
+    if covered == target:
+        return True
+    remaining = target - covered
+    anchor = min(remaining)
+    for band in bands:
+        if anchor in band and not (band & covered):
+            chosen.append(band)
+            if _exact_disjoint_cover(target, bands, covered | band, chosen):
+                return True
+            chosen.pop()
+    return False

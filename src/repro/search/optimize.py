@@ -1,0 +1,440 @@
+"""Metaheuristic searches over big-router placements.
+
+Both searches walk the fixed-budget placement space (exactly ``num_big``
+big routers) with moves that preserve the budget -- relocating one big
+router to an empty seat -- so every visited state satisfies the paper's
+router-count constraint by construction.  Everything is driven by one
+seeded :class:`random.Random`, making a search a pure function of
+``(evaluator, num_big, seed, knobs)``: the tests and the CI smoke job
+pin exact outcomes.
+
+Candidates canonicalize through the mesh's dihedral symmetries (see
+:mod:`repro.search.canonical`) inside the evaluator's cache and the
+top-k archive, so the eight reflections of one shape cost one
+evaluation and occupy one archive slot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.search.objectives import PlacementEvaluator, PlacementObjectives
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run.
+
+    ``best`` is the winning placement's objective record; ``top`` holds
+    the k best *distinct canonical* placements (best first) -- the
+    survivor pool the refinement stage cycle-simulates; ``history`` is
+    the best-so-far scalar after each evaluation (for convergence
+    plots); ``evaluations`` counts real evaluations, ``proposals`` all
+    proposed candidates (the difference is the canonical-dedup save).
+    """
+
+    best: PlacementObjectives
+    top: List[PlacementObjectives]
+    history: List[float]
+    evaluations: int
+    proposals: int
+    algorithm: str
+    seed: int
+
+    @property
+    def best_placement(self) -> Tuple[int, ...]:
+        return self.best.canonical
+
+
+class _TopK:
+    """Fixed-size archive of the best distinct canonical placements."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._records: Dict[Tuple[int, ...], PlacementObjectives] = {}
+
+    def offer(self, record: PlacementObjectives) -> None:
+        held = self._records.get(record.canonical)
+        if held is None or record.scalar > held.scalar:
+            self._records[record.canonical] = record
+        if len(self._records) > 4 * self.k:
+            self._prune()
+
+    def _prune(self) -> None:
+        for record in self.ranked()[self.k:]:
+            del self._records[record.canonical]
+
+    def ranked(self) -> List[PlacementObjectives]:
+        return sorted(
+            self._records.values(),
+            key=lambda r: (-r.scalar, r.canonical),
+        )
+
+    def best(self) -> PlacementObjectives:
+        return self.ranked()[0]
+
+    def take(self) -> List[PlacementObjectives]:
+        return self.ranked()[: self.k]
+
+
+def _seed_placement(rng, num_routers: int, num_big: int) -> frozenset:
+    return frozenset(rng.sample(range(num_routers), num_big))
+
+
+def _relocate(rng, placement: frozenset, num_routers: int, k: int = 1) -> frozenset:
+    """Relocate ``k`` big routers to random empty seats (budget-preserving)."""
+    big = sorted(placement)
+    empty = [r for r in range(num_routers) if r not in placement]
+    k = min(k, len(big), len(empty))
+    return (placement - set(rng.sample(big, k))) | set(rng.sample(empty, k))
+
+
+def _exchange(rng, placement: frozenset, n: int) -> frozenset:
+    """Swap the columns of two big routers, preserving row and column
+    counts -- the move that navigates the balanced subspace the paper's
+    "a big router in each row and column" rationale points at."""
+    big = sorted(placement)
+    for _attempt in range(16):
+        a, b = rng.sample(big, 2)
+        ra, ca = divmod(a, n)
+        rb, cb = divmod(b, n)
+        na, nb = ra * n + cb, rb * n + ca
+        if na not in placement and nb not in placement:
+            return (placement - {a, b}) | {na, nb}
+    return _relocate(rng, placement, n * n, 1)
+
+
+def _move(rng, placement: frozenset, num_routers: int, n: int) -> frozenset:
+    """One proposal: mostly structure-preserving exchanges, mixed with
+    single and double relocations so the walk can also change which rows
+    and columns are occupied and hop between basins."""
+    if len(placement) < 2:
+        return _relocate(rng, placement, num_routers, 1)
+    u = rng.random()
+    if u < 0.45:
+        return _exchange(rng, placement, n)
+    if u < 0.80:
+        return _relocate(rng, placement, num_routers, 1)
+    return _relocate(rng, placement, num_routers, 2)
+
+
+def _polish(
+    evaluator: PlacementEvaluator,
+    placement: frozenset,
+    pair_limit: int = 20_000,
+) -> frozenset:
+    """Deterministic steepest-ascent to a local optimum.
+
+    The neighborhood is every single relocation plus every
+    column-exchange; when the pair-relocation neighborhood is small
+    enough (``pair_limit`` candidates -- always true on 4x4) it is
+    searched too, which lets the polish cross the two-move gaps that
+    separate near-optimal attractors from the true optimum.  Ties break
+    lexicographically, so the result is a pure function of the start.
+    """
+    import itertools as _it
+
+    n = evaluator.mesh_size
+    num_routers = evaluator.model.num_routers
+    current = frozenset(placement)
+    current_score = evaluator.evaluate(current).scalar
+    improved = True
+    while improved:
+        improved = False
+        big = sorted(current)
+        empty = [r for r in range(num_routers) if r not in current]
+        neighbors = [(current - {l}) | {a} for l in big for a in empty]
+        for a, b in _it.combinations(big, 2):
+            ra, ca = divmod(a, n)
+            rb, cb = divmod(b, n)
+            na, nb = ra * n + cb, rb * n + ca
+            if na not in current and nb not in current:
+                neighbors.append((current - {a, b}) | {na, nb})
+        if (
+            len(big) >= 2
+            and len(empty) >= 2
+            and math.comb(len(big), 2) * math.comb(len(empty), 2) <= pair_limit
+        ):
+            neighbors.extend(
+                (current - set(pair)) | set(seats)
+                for pair in _it.combinations(big, 2)
+                for seats in _it.combinations(empty, 2)
+            )
+        best = max(
+            neighbors,
+            key=lambda p: (evaluator.evaluate(p).scalar, tuple(sorted(p))),
+        )
+        best_score = evaluator.evaluate(best).scalar
+        if best_score > current_score + 1e-12:
+            current, current_score, improved = best, best_score, True
+    return current
+
+
+def simulated_annealing(
+    evaluator: PlacementEvaluator,
+    num_big: int,
+    seed: int = 0,
+    steps: int = 2000,
+    restarts: int = 3,
+    t_initial: float = 0.03,
+    t_final: float = 0.0005,
+    top_k: int = 8,
+    polish_top: int = 4,
+) -> SearchResult:
+    """Seeded simulated annealing over fixed-budget placements.
+
+    Runs ``restarts`` independent chains of ``steps`` proposals each from
+    random seeds, with a geometric temperature schedule from
+    ``t_initial`` to ``t_final`` (scales chosen for scalar objectives of
+    order 1: early on a ~3% score loss is accepted readily, at the end
+    the walk is effectively greedy).  The ``polish_top`` best archive
+    entries then descend deterministically to their local optima (see
+    :func:`_polish`); the returned archive is the best across all
+    chains and polishes.
+    """
+    import random
+
+    if num_big < 1 or num_big >= evaluator.model.num_routers:
+        raise ValueError(
+            f"num_big must be in [1, {evaluator.model.num_routers - 1}], "
+            f"got {num_big}"
+        )
+    if steps < 1 or restarts < 1:
+        raise ValueError("steps and restarts must be >= 1")
+    rng = random.Random(seed)
+    num_routers = evaluator.model.num_routers
+    n = evaluator.mesh_size
+    archive = _TopK(top_k)
+    history: List[float] = []
+    proposals = 0
+    best_so_far = -math.inf
+    cooling = (t_final / t_initial) ** (1.0 / max(steps - 1, 1))
+    for _chain in range(restarts):
+        current = _seed_placement(rng, num_routers, num_big)
+        record = evaluator.evaluate(current)
+        archive.offer(record)
+        proposals += 1
+        best_so_far = max(best_so_far, record.scalar)
+        history.append(best_so_far)
+        current_score = record.scalar
+        temperature = t_initial
+        for _step in range(steps):
+            candidate = _move(rng, current, num_routers, n)
+            proposals += 1
+            cand_record = evaluator.evaluate(candidate)
+            archive.offer(cand_record)
+            delta = cand_record.scalar - current_score
+            if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                current, current_score = candidate, cand_record.scalar
+            best_so_far = max(best_so_far, cand_record.scalar)
+            history.append(best_so_far)
+            temperature *= cooling
+    for record in archive.take()[:polish_top]:
+        polished = evaluator.evaluate(
+            _polish(evaluator, frozenset(record.positions))
+        )
+        archive.offer(polished)
+        best_so_far = max(best_so_far, polished.scalar)
+        history.append(best_so_far)
+    return SearchResult(
+        best=archive.best(),
+        top=archive.take(),
+        history=history,
+        evaluations=evaluator.evaluations,
+        proposals=proposals,
+        algorithm="annealing",
+        seed=seed,
+    )
+
+
+def _crossover(rng, a: frozenset, b: frozenset, num_big: int) -> frozenset:
+    """Budget-preserving recombination: keep the shared seats, fill the
+    rest from the symmetric difference (uniformly, without replacement)."""
+    shared = a & b
+    pool = sorted(a ^ b)
+    need = num_big - len(shared)
+    return shared | frozenset(rng.sample(pool, need))
+
+
+def evolutionary_search(
+    evaluator: PlacementEvaluator,
+    num_big: int,
+    seed: int = 0,
+    generations: int = 40,
+    population: int = 24,
+    elite: int = 4,
+    mutation_rate: float = 0.35,
+    top_k: int = 8,
+    polish_top: int = 2,
+    initial: Optional[Sequence[Iterable[int]]] = None,
+) -> SearchResult:
+    """A small seeded (mu + lambda)-style evolutionary loop.
+
+    Each generation keeps the ``elite`` best distinct members, breeds the
+    rest by 2-tournament selection and budget-preserving crossover, and
+    mutates offspring with probability ``mutation_rate`` (one mixed
+    move: exchange or relocation).  The ``polish_top`` best archive
+    entries get the same deterministic descent as the annealer.
+
+    ``initial`` seeds the starting population (topped up with random
+    placements if shorter than ``population``).  Passing another
+    search's survivors makes this the recombination stage of a memetic
+    pipeline: crossover between two near-optimal placements that agree
+    on most seats repairs each other's defects -- coordinated multi-seat
+    jumps that single-move walks essentially never make.
+    """
+    import random
+
+    if num_big < 1 or num_big >= evaluator.model.num_routers:
+        raise ValueError(
+            f"num_big must be in [1, {evaluator.model.num_routers - 1}], "
+            f"got {num_big}"
+        )
+    if population < 4 or not 0 < elite < population:
+        raise ValueError("need population >= 4 and 0 < elite < population")
+    if not 0.0 <= mutation_rate <= 1.0:
+        raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+    rng = random.Random(seed)
+    num_routers = evaluator.model.num_routers
+    n = evaluator.mesh_size
+    archive = _TopK(top_k)
+    history: List[float] = []
+    proposals = 0
+    best_so_far = -math.inf
+
+    def remember(placement: frozenset) -> PlacementObjectives:
+        nonlocal proposals, best_so_far
+        record = evaluator.evaluate(placement)
+        archive.offer(record)
+        proposals += 1
+        best_so_far = max(best_so_far, record.scalar)
+        history.append(best_so_far)
+        return record
+
+    members: List[frozenset] = []
+    for given in initial or ():
+        member = frozenset(given)
+        if len(member) != num_big:
+            raise ValueError(
+                f"initial placement {tuple(sorted(member))} has "
+                f"{len(member)} big routers, expected {num_big}"
+            )
+        members.append(member)
+    members = members[:population]
+    while len(members) < population:
+        members.append(_seed_placement(rng, num_routers, num_big))
+    scored = [(remember(m), m) for m in members]
+    for _generation in range(generations):
+        scored.sort(key=lambda pair: (-pair[0].scalar, pair[0].canonical))
+        survivors: List[frozenset] = []
+        seen = set()
+        for record, member in scored:
+            if record.canonical in seen:
+                continue
+            seen.add(record.canonical)
+            survivors.append(member)
+            if len(survivors) == elite:
+                break
+        while len(survivors) < elite:  # population collapsed to clones
+            survivors.append(_seed_placement(rng, num_routers, num_big))
+        children = list(survivors)
+        while len(children) < population:
+            def pick() -> frozenset:
+                a, b = rng.sample(range(len(scored)), 2)
+                return scored[min(a, b)][1]  # scored is sorted: lower = fitter
+
+            child = _crossover(rng, pick(), pick(), num_big)
+            if rng.random() < mutation_rate:
+                child = _move(rng, child, num_routers, n)
+            children.append(child)
+        scored = [(remember(m), m) for m in children]
+    for record in archive.take()[:polish_top]:
+        polished = evaluator.evaluate(
+            _polish(evaluator, frozenset(record.positions))
+        )
+        archive.offer(polished)
+        best_so_far = max(best_so_far, polished.scalar)
+        history.append(best_so_far)
+    return SearchResult(
+        best=archive.best(),
+        top=archive.take(),
+        history=history,
+        evaluations=evaluator.evaluations,
+        proposals=proposals,
+        algorithm="evolutionary",
+        seed=seed,
+    )
+
+
+def exhaustive_search(
+    evaluator: PlacementEvaluator,
+    num_big: int,
+    top_k: int = 8,
+    limit: int = 200_000,
+) -> SearchResult:
+    """Evaluate every placement (small meshes only: the footnote-4 stage).
+
+    Raises :class:`ValueError` when the space exceeds ``limit`` -- at
+    which point the metaheuristics above are the tool.
+    """
+    count = math.comb(evaluator.model.num_routers, num_big)
+    if count > limit:
+        raise ValueError(
+            f"C({evaluator.model.num_routers}, {num_big}) = {count:,} "
+            f"placements exceed the exhaustive limit ({limit:,}); use "
+            "simulated_annealing or evolutionary_search"
+        )
+    archive = _TopK(top_k)
+    history: List[float] = []
+    best_so_far = -math.inf
+    proposals = 0
+    for combo in itertools.combinations(range(evaluator.model.num_routers), num_big):
+        record = evaluator.evaluate(frozenset(combo))
+        archive.offer(record)
+        proposals += 1
+        best_so_far = max(best_so_far, record.scalar)
+        history.append(best_so_far)
+    return SearchResult(
+        best=archive.best(),
+        top=archive.take(),
+        history=history,
+        evaluations=evaluator.evaluations,
+        proposals=proposals,
+        algorithm="exhaustive",
+        seed=0,
+    )
+
+
+def pareto_frontier(
+    records: Sequence[PlacementObjectives],
+    axes: Sequence[str] = ("analytic", "resilience"),
+) -> List[PlacementObjectives]:
+    """Non-dominated subset of ``records`` over the named axes (all
+    maximized), deduplicated by canonical placement and sorted by the
+    first axis descending.  ``axes`` may name any objective field or an
+    extra term."""
+    if not axes:
+        raise ValueError("need at least one axis")
+    unique: Dict[Tuple[int, ...], PlacementObjectives] = {}
+    for record in records:
+        held = unique.get(record.canonical)
+        if held is None or record.scalar > held.scalar:
+            unique[record.canonical] = record
+    frontier: List[PlacementObjectives] = []
+    candidates = sorted(
+        unique.values(),
+        key=lambda r: tuple(-v for v in r.vector(axes)) + (r.canonical,),
+    )
+    for record in candidates:
+        vec = record.vector(axes)
+        dominated = any(
+            all(o >= v for o, v in zip(other.vector(axes), vec))
+            and any(o > v for o, v in zip(other.vector(axes), vec))
+            for other in frontier
+        )
+        if not dominated:
+            frontier.append(record)
+    return frontier

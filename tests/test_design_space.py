@@ -97,3 +97,42 @@ class TestPlacementExplorer:
         latencies = [r["latency_cycles"] for r in results]
         assert latencies == sorted(latencies)
         assert all(r["throughput"] > 0 for r in results)
+
+
+class TestEnumerationGuard:
+    def test_large_mesh_enumeration_refused(self):
+        import pytest
+
+        explorer = PlacementExplorer(8)
+        with pytest.raises(ValueError, match="repro.search"):
+            explorer.enumerate(16)
+        with pytest.raises(ValueError, match="488,526,937,079,580"):
+            list(explorer.enumerate(16))
+
+    def test_top_placements_and_rank_of_guarded(self):
+        import pytest
+
+        explorer = PlacementExplorer(8)
+        with pytest.raises(ValueError, match="exceed"):
+            explorer.top_placements(16)
+        with pytest.raises(ValueError, match="exceed"):
+            explorer.rank_of(diagonal_positions(8))
+
+    def test_explicit_limit_overrides_default(self):
+        import pytest
+
+        explorer = PlacementExplorer(4)
+        with pytest.raises(ValueError, match="exceed"):
+            explorer.enumerate(8, max_enumeration=100)
+        # The footnote-4 spaces stay enumerable under the default.
+        assert len(list(explorer.enumerate(8))) == 12870
+
+    def test_simulate_placements_reports_cache_flag(self):
+        explorer = PlacementExplorer(4)
+        results = explorer.simulate_placements(
+            [diagonal_positions(4)], rate=0.05, measure_packets=100,
+            cache=None,
+        )
+        assert len(results) == 1
+        assert "from_cache" in results[0]
+        assert results[0]["scalar_score"] > 0

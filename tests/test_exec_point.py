@@ -165,3 +165,30 @@ class TestPointResult:
         b = PointResult.from_dict(payload)
         b.from_cache = True
         assert a == b  # compare=False: cache provenance is not identity
+
+
+class TestBigPositionValidation:
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepPoint(
+                layout=None, big_positions=(0, 9, 9), mesh_size=4,
+                pattern="uniform_random", rate=0.05, seed=7,
+                warmup_packets=50, measure_packets=300,
+            )
+
+    def test_non_int_rejected(self):
+        for bad in ((0, 1.5), (0, True), (0, "9")):
+            with pytest.raises(ValueError, match="ints"):
+                SweepPoint(
+                    layout=None, big_positions=bad, mesh_size=4,
+                    pattern="uniform_random", rate=0.05, seed=7,
+                    warmup_packets=50, measure_packets=300,
+                )
+
+    def test_out_of_mesh_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            SweepPoint(
+                layout=None, big_positions=(0, 16), mesh_size=4,
+                pattern="uniform_random", rate=0.05, seed=7,
+                warmup_packets=50, measure_packets=300,
+            )

@@ -203,3 +203,57 @@ class TestAsymmetricLayout:
     def test_large_cores_sit_on_big_routers(self):
         placement = asymmetric_cmp_layout()
         assert set(placement["large"]) <= diagonal_positions(8)
+
+
+class TestCustomLayoutValidation:
+    def test_valid_custom_layout(self):
+        from repro.core.layouts import custom_layout
+
+        layout = custom_layout("probe", [0, 9, 18, 27], mesh_size=6)
+        assert layout.num_big == 4
+        assert layout.mesh_size == 6
+
+    def test_duplicates_rejected(self):
+        from repro.core.layouts import custom_layout
+
+        with pytest.raises(ValueError, match=r"duplicate.*\[3, 7\]"):
+            custom_layout("dup", [3, 7, 3, 7, 9])
+
+    def test_non_int_positions_rejected(self):
+        from repro.core.layouts import custom_layout
+
+        with pytest.raises(ValueError, match="plain ints"):
+            custom_layout("floaty", [0, 1.5, 3])
+        with pytest.raises(ValueError, match="plain ints"):
+            custom_layout("booly", [0, True, 3])
+
+    def test_out_of_mesh_rejected(self):
+        from repro.core.layouts import custom_layout
+
+        with pytest.raises(ValueError, match="outside the mesh"):
+            custom_layout("outside", [0, 64], mesh_size=8)
+
+    def test_check_power_accepts_paper_mix(self):
+        from repro.core.layouts import custom_layout
+
+        layout = custom_layout(
+            "paper-mix", sorted(diagonal_positions(8)), check_power=True
+        )
+        assert layout.num_big == 16
+
+    def test_check_power_rejects_over_budget_mix(self):
+        from repro.core.hetero import min_small_routers
+        from repro.core.layouts import custom_layout
+
+        max_big = 64 - min_small_routers(8)
+        with pytest.raises(ValueError, match="power budget"):
+            custom_layout(
+                "too-big", list(range(max_big + 1)), check_power=True
+            )
+
+    def test_power_check_off_by_default(self):
+        from repro.core.layouts import custom_layout
+
+        # The footnote-4 sweeps explore over-budget mixes deliberately.
+        layout = custom_layout("over", list(range(60)))
+        assert layout.num_big == 60
