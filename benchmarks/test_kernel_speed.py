@@ -1,0 +1,47 @@
+"""Benchmark: raw cycle-kernel speed across traffic regimes.
+
+Times the event-driven cycle kernel on the same frozen case matrix the
+``python -m repro.noc.bench`` CLI records into ``BENCH_kernel.json``:
+empty meshes (active-set fast path), uniform-random traffic at low, mid
+and saturation rates on 4x4 and 8x8 meshes, and one faulty point (the
+dynamic-routing fallback path).  Under ``--benchmark-disable`` each case
+still runs once, which keeps the suite usable as a smoke test.
+"""
+
+import pytest
+
+from repro.noc.bench import CASES, run_case
+
+_CASES = {name: (kind, params) for name, kind, params in CASES}
+
+SPEED_CASES = [
+    "empty-4x4",
+    "empty-8x8",
+    "ur-4x4-r0.05",
+    "ur-4x4-r0.15",
+    "ur-4x4-r0.30",
+    "ur-8x8-r0.05",
+    "ur-8x8-r0.15",
+    "ur-8x8-r0.30",
+    "faulty-4x4-r0.05",
+]
+
+
+@pytest.mark.parametrize("name", SPEED_CASES)
+def test_kernel_speed(benchmark, name):
+    kind, params = _CASES[name]
+    cycles, _wall = benchmark.pedantic(
+        lambda: run_case(name, kind, params), rounds=1, iterations=1
+    )
+    assert cycles > 0
+
+
+def test_naive_kernel_still_runs(benchmark):
+    """The retained full-scan reference stepper stays exercised."""
+    kind, params = _CASES["ur-4x4-r0.05"]
+    cycles, _wall = benchmark.pedantic(
+        lambda: run_case("ur-4x4-r0.05", kind, params, naive=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert cycles > 0

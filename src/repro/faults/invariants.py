@@ -130,6 +130,26 @@ def check_network_invariants(network) -> List[str]:
                 f"{total} buffered flits"
             )
 
+    # -- event-kernel active-set coverage --------------------------------------
+    # The active sets are conservative supersets: every router holding
+    # flits and every source with pending work must be a member, or the
+    # event-driven stepper would skip them forever.  (Maintained in naive
+    # mode too, so the kernels can be switched mid-run.)
+    active_routers = network._active_routers
+    for router in network.routers:
+        if router.occupied_flits > 0 and router.router_id not in active_routers:
+            violations.append(
+                f"router {router.router_id}: {router.occupied_flits} "
+                "buffered flits but not in the network's active-router set"
+            )
+    active_sources = network._active_sources
+    for node, source in enumerate(network.sources):
+        if (source.queue or source.mid_packet) and node not in active_sources:
+            violations.append(
+                f"source {node}: pending work but not in the network's "
+                "active-source set"
+            )
+
     # -- credit conservation per channel ---------------------------------------
     arrivals, credit_events = _in_flight_counts(network)
     for src, sport, dst, dport in topo.channels():

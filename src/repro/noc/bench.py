@@ -1,0 +1,295 @@
+"""Wall-clock benchmark CLI for the cycle kernel.
+
+Runs a fixed matrix of simulator workloads -- empty meshes, uniform-random
+sweeps at low/mid/saturation rates on 4x4 and 8x8, the fig07 operating
+points for both the baseline and the HeteroNoC diagonal layout, and one
+faulty point -- and reports cycles-per-second for the event-driven kernel
+and (optionally) the retained naive full-scan kernel.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.noc.bench --out BENCH_kernel.json
+    PYTHONPATH=src python -m repro.noc.bench --kernel event --repeat 1
+    PYTHONPATH=src python -m repro.noc.bench --check BENCH_kernel.json
+
+``--check`` is the CI perf-smoke mode: it times a small subset of the
+matrix and fails (exit 1) if any point runs more than ``--tolerance``
+times slower than the committed baseline's event-kernel figure.
+
+The committed ``BENCH_kernel.json`` additionally embeds a
+``seed_baseline`` section: the same matrix measured at the commit *before*
+the event-driven kernel landed, recorded on the same machine.  Speedup
+figures quoted in the README are current-event vs. that seed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+# Per-case FAST scale: enough traffic for a stable timing signal while the
+# full matrix stays under a couple of minutes.
+FAST = {"warmup_packets": 100, "measure_packets": 600}
+
+#: (name, kind, params) -- the benchmark matrix.  Names, parameters and
+#: seeds are frozen: the recorded seed baseline was measured with exactly
+#: these cases, so editing one breaks comparability of the committed
+#: numbers.
+CASES = [
+    ("empty-4x4", "empty", {"mesh_size": 4, "cycles": 30000}),
+    ("empty-8x8", "empty", {"mesh_size": 8, "cycles": 10000}),
+    ("ur-4x4-r0.05", "synthetic", {"layout": "baseline", "mesh_size": 4, "rate": 0.05}),
+    ("ur-4x4-r0.15", "synthetic", {"layout": "baseline", "mesh_size": 4, "rate": 0.15}),
+    ("ur-4x4-r0.30", "synthetic", {"layout": "baseline", "mesh_size": 4, "rate": 0.30}),
+    ("ur-8x8-r0.05", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.05}),
+    ("ur-8x8-r0.15", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.15}),
+    ("ur-8x8-r0.30", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.30}),
+    ("fig07-base-8x8-r0.01", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.01}),
+    ("fig07-base-8x8-r0.05", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.05}),
+    ("fig07-base-8x8-r0.10", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.10}),
+    ("fig07-base-8x8-r0.15", "synthetic", {"layout": "baseline", "mesh_size": 8, "rate": 0.15}),
+    ("fig07-hetero-8x8-r0.01", "synthetic", {"layout": "diagonal+BL", "mesh_size": 8, "rate": 0.01}),
+    ("fig07-hetero-8x8-r0.05", "synthetic", {"layout": "diagonal+BL", "mesh_size": 8, "rate": 0.05}),
+    ("fig07-hetero-8x8-r0.10", "synthetic", {"layout": "diagonal+BL", "mesh_size": 8, "rate": 0.10}),
+    ("fig07-hetero-8x8-r0.15", "synthetic", {"layout": "diagonal+BL", "mesh_size": 8, "rate": 0.15}),
+    ("faulty-4x4-r0.05", "faulty", {"layout": "baseline", "mesh_size": 4, "rate": 0.05}),
+]
+
+#: The acceptance group: fig07 uniform-random sweep points at rates <= 0.15.
+FIG07_GROUP = [name for name, _, _ in CASES if name.startswith("fig07-")]
+#: Saturation guard group: no point here may regress > 10% vs. the seed.
+SATURATION_GROUP = ["ur-4x4-r0.30", "ur-8x8-r0.30"]
+#: Quick subset timed by ``--check`` (the CI perf-smoke job).
+CHECK_GROUP = ["empty-4x4", "ur-4x4-r0.05"]
+
+
+def _build(layout_name: str, mesh_size: int, naive: bool):
+    from repro.core.layouts import build_network, layout_by_name
+    from repro.noc.flit import reset_packet_ids
+
+    reset_packet_ids()
+    network = build_network(layout_by_name(layout_name, mesh_size))
+    if naive:
+        network.naive_step = True
+    return network
+
+
+def run_case(
+    name: str, kind: str, params: Dict, naive: bool = False
+) -> Tuple[int, float]:
+    """Run one benchmark case; returns ``(simulated_cycles, wall_seconds)``."""
+    from repro.traffic.patterns import pattern_by_name
+    from repro.traffic.runner import run_synthetic
+
+    if kind == "empty":
+        net = _build("baseline", params["mesh_size"], naive)
+        n = params["cycles"]
+        t0 = time.perf_counter()
+        net.run_cycles(n)
+        return n, time.perf_counter() - t0
+
+    faults = None
+    if kind == "faulty":
+        from repro.faults.schedule import FaultSchedule, FaultSpec
+
+        faults = FaultSchedule(
+            specs=(
+                FaultSpec(kind="link", router=5, port=2, mode="transient",
+                          at=150, repair_after=200),
+            ),
+            seed=3,
+        )
+    net = _build(params["layout"], params["mesh_size"], naive)
+    pattern = pattern_by_name("uniform_random", net.topology)
+    t0 = time.perf_counter()
+    result = run_synthetic(
+        net, pattern, params["rate"], seed=11, faults=faults, **FAST
+    )
+    return result.total_cycles, time.perf_counter() - t0
+
+
+def run_suite(
+    repeat: int = 3,
+    naive: bool = False,
+    only: Optional[list] = None,
+    quiet: bool = False,
+) -> Dict[str, Dict]:
+    """Run the matrix (best-of-``repeat`` wall clock per case)."""
+    out: Dict[str, Dict] = {}
+    for name, kind, params in CASES:
+        if only is not None and name not in only:
+            continue
+        best_wall, cycles = None, None
+        for _ in range(repeat):
+            c, w = run_case(name, kind, params, naive=naive)
+            if best_wall is None or w < best_wall:
+                best_wall, cycles = w, c
+        out[name] = {
+            "cycles": cycles,
+            "wall_s": round(best_wall, 4),
+            "cycles_per_s": round(cycles / best_wall, 1),
+        }
+        if not quiet:
+            kernel = "naive" if naive else "event"
+            print(
+                f"  [{kernel}] {name}: {cycles} cycles, {best_wall:.3f}s, "
+                f"{cycles / best_wall:,.0f} cyc/s"
+            )
+    return out
+
+
+def _group_summary(
+    group: list, current: Dict[str, Dict], baseline: Optional[Dict[str, Dict]]
+) -> Dict:
+    wall = sum(current[n]["wall_s"] for n in group if n in current)
+    summary = {"cases": group, "wall_s": round(wall, 4)}
+    if baseline and all(n in baseline for n in group):
+        base_wall = sum(baseline[n]["wall_s"] for n in group)
+        summary["baseline_wall_s"] = round(base_wall, 4)
+        if wall > 0:
+            summary["speedup_vs_baseline"] = round(base_wall / wall, 3)
+    return summary
+
+
+def build_report(
+    event: Dict[str, Dict],
+    naive: Optional[Dict[str, Dict]],
+    seed_baseline: Optional[Dict[str, Dict]],
+    repeat: int,
+) -> Dict:
+    report: Dict = {
+        "meta": {
+            "tool": "repro.noc.bench",
+            "repeat": repeat,
+            "scale": FAST,
+            "note": (
+                "best-of-N wall clock; seed_baseline was measured on the "
+                "same machine at the commit preceding the event-driven "
+                "kernel"
+            ),
+        },
+        "event": event,
+    }
+    if naive:
+        report["naive"] = naive
+        report["speedup_event_vs_naive"] = {
+            name: round(naive[name]["wall_s"] / event[name]["wall_s"], 3)
+            for name in event
+            if name in naive and event[name]["wall_s"] > 0
+        }
+    if seed_baseline:
+        report["seed_baseline"] = seed_baseline
+        report["speedup_vs_seed"] = {
+            name: round(
+                seed_baseline[name]["wall_s"] / event[name]["wall_s"], 3
+            )
+            for name in event
+            if name in seed_baseline and event[name]["wall_s"] > 0
+        }
+    report["groups"] = {
+        "fig07_low": _group_summary(FIG07_GROUP, event, seed_baseline),
+        "saturation": _group_summary(SATURATION_GROUP, event, seed_baseline),
+    }
+    return report
+
+
+def run_check(baseline_path: str, tolerance: float, repeat: int) -> int:
+    """CI perf-smoke: fail when the kernel regresses past ``tolerance``."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    reference = baseline.get("event", {})
+    current = run_suite(repeat=repeat, only=CHECK_GROUP, quiet=True)
+    failed = False
+    for name in CHECK_GROUP:
+        if name not in reference:
+            print(f"  {name}: no baseline entry, skipping")
+            continue
+        base_rate = reference[name]["cycles_per_s"]
+        cur_rate = current[name]["cycles_per_s"]
+        ratio = base_rate / cur_rate if cur_rate else float("inf")
+        status = "OK" if ratio <= tolerance else "REGRESSION"
+        print(
+            f"  {name}: {cur_rate:,.0f} cyc/s vs baseline "
+            f"{base_rate:,.0f} cyc/s ({ratio:.2f}x slower, "
+            f"tolerance {tolerance:.2f}x) {status}"
+        )
+        if ratio > tolerance:
+            failed = True
+    if failed:
+        print("perf check FAILED")
+        return 1
+    print("perf check passed")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.noc.bench", description=__doc__
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the JSON report to this path (default: stdout summary only)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="timing repetitions per case (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--kernel", choices=("event", "naive", "both"), default="both",
+        help="which kernel(s) to time (default both)",
+    )
+    parser.add_argument(
+        "--seed-baseline", default=None,
+        help="JSON file of seed-commit measurements to embed for comparison",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="CI mode: compare a quick subset against a committed report",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="--check failure threshold (default 1.5x slower)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return run_check(args.check, args.tolerance, max(1, args.repeat))
+
+    print("benchmarking event-driven kernel:")
+    event = run_suite(repeat=args.repeat, naive=False)
+    naive = None
+    if args.kernel in ("naive", "both"):
+        print("benchmarking naive full-scan kernel:")
+        naive = run_suite(repeat=args.repeat, naive=True)
+
+    seed_baseline = None
+    if args.seed_baseline:
+        with open(args.seed_baseline) as fh:
+            seed_baseline = json.load(fh)
+        # Accept either a bare {case: stats} map or a full report.
+        if "event" in seed_baseline and isinstance(
+            seed_baseline["event"], dict
+        ):
+            seed_baseline = seed_baseline["event"]
+
+    report = build_report(event, naive, seed_baseline, args.repeat)
+    fig07 = report["groups"]["fig07_low"]
+    if "speedup_vs_baseline" in fig07:
+        print(
+            f"fig07 group: {fig07['wall_s']:.3f}s vs seed "
+            f"{fig07['baseline_wall_s']:.3f}s = "
+            f"{fig07['speedup_vs_baseline']:.2f}x"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,8 +64,16 @@ class FlitType(enum.Enum):
         return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
 
 
+_flits_per_packet_cache: dict = {}
+
+
 def flits_per_packet(payload_bits: int, flit_width_bits: int) -> int:
     """Number of flits needed to carry ``payload_bits``.
+
+    Results are memoized per ``(payload, width)`` pair: the simulator asks
+    this question once per packet, always with the same handful of sizes,
+    so the cache turns a ``ceil`` + validation into one dict probe on the
+    packet-creation hot path.
 
     >>> flits_per_packet(1024, 192)
     6
@@ -74,13 +82,19 @@ def flits_per_packet(payload_bits: int, flit_width_bits: int) -> int:
     >>> flits_per_packet(64, 192)
     1
     """
+    key = (payload_bits, flit_width_bits)
+    cached = _flits_per_packet_cache.get(key)
+    if cached is not None:
+        return cached
     if payload_bits <= 0:
         raise ValueError(f"payload_bits must be positive, got {payload_bits}")
     if flit_width_bits <= 0:
         raise ValueError(
             f"flit_width_bits must be positive, got {flit_width_bits}"
         )
-    return max(1, math.ceil(payload_bits / flit_width_bits))
+    result = max(1, math.ceil(payload_bits / flit_width_bits))
+    _flits_per_packet_cache[key] = result
+    return result
 
 
 @dataclass
@@ -168,24 +182,38 @@ class Packet:
         return self.injected_at - self.created_at
 
 
-@dataclass
 class Flit:
-    """One flow-control unit of a packet."""
+    """One flow-control unit of a packet.
 
-    packet: Packet
-    index: int
-    flit_type: FlitType
-    # Cycle at which the flit becomes eligible for switch allocation in the
-    # router currently buffering it (models the first pipeline stage).
-    ready_at: int = 0
+    A plain ``__slots__`` class rather than a dataclass: flits are the
+    highest-volume objects in the simulator, and ``is_head``/``is_tail``
+    are consulted on every switch traversal, so both are precomputed as
+    plain attributes at construction instead of going through the
+    :class:`FlitType` properties per access.
+    """
 
-    @property
-    def is_head(self) -> bool:
-        return self.flit_type.is_head
+    __slots__ = ("packet", "index", "flit_type", "ready_at",
+                 "is_head", "is_tail")
 
-    @property
-    def is_tail(self) -> bool:
-        return self.flit_type.is_tail
+    def __init__(
+        self,
+        packet: Packet,
+        index: int,
+        flit_type: FlitType,
+        ready_at: int = 0,
+    ) -> None:
+        self.packet = packet
+        self.index = index
+        self.flit_type = flit_type
+        # Cycle at which the flit becomes eligible for switch allocation in
+        # the router currently buffering it (the first pipeline stage).
+        self.ready_at = ready_at
+        self.is_head = (
+            flit_type is FlitType.HEAD or flit_type is FlitType.HEAD_TAIL
+        )
+        self.is_tail = (
+            flit_type is FlitType.TAIL or flit_type is FlitType.HEAD_TAIL
+        )
 
     @property
     def dst(self) -> int:

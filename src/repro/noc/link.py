@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.noc.config import RouterConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Link:
     """One directed router-to-router (or router-to-node) channel."""
 

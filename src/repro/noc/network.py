@@ -19,14 +19,28 @@ cycle it is produced):
 4. switch allocation + traversal; departures are scheduled onto links and
    ejections are consumed;
 5. occupancy sampling (measurement window only).
+
+The cycle kernel is *event-driven*: the network keeps an **active set** of
+router ids (routers holding at least one buffered flit) and of source nodes
+(nodes with queued or mid-injection packets), and each cycle walks only
+those, so per-cycle cost scales with traffic rather than mesh size.  The
+active sets are conservative supersets maintained lazily -- membership is
+added on every ``write_flit``/``enqueue`` and pruned when a drained member
+is next visited -- and they are always iterated in ascending id order with
+the same per-element guards as a full scan, which makes the kernel
+bit-identical to the naive all-routers walk.  That naive walk is retained
+as :meth:`Network._step_naive` (select it with ``REPRO_NAIVE_STEP=1`` or
+``network.naive_step = True``) and serves as the differential-testing
+reference for the event kernel.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from collections import deque
 from time import perf_counter
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.noc.config import NetworkConfig, RouterConfig
 from repro.noc.flit import Flit, Packet, flits_per_packet
@@ -70,7 +84,9 @@ class Network:
         self.topology = topology
         self.router_configs = dict(router_configs)
         self.config = network_config or NetworkConfig()
-        self.routing = routing or minimal_routing_for(topology)
+        # Set the backing attribute directly: the ``routing`` property
+        # setter rebuilds routing tables, which needs the routers to exist.
+        self._routing = routing or minimal_routing_for(topology)
         widths = {cfg.flit_width for cfg in router_configs.values()}
         if len(widths) != 1:
             raise ValueError(
@@ -122,10 +138,64 @@ class Network:
         #: (``on_loss(packet, reason, cycle)``) -- the NI retransmission
         #: layer subscribes here.
         self.on_loss: Optional[Callable[[Packet, str, int], None]] = None
-        for src, sport, _dst, _dport in topology.channels():
-            link = self.routers[src].out_links[sport]
-            if link is not None:
-                self._stats.link_lanes[(src, sport)] = link.lanes
+        #: mirror of ``obs is not None`` checked once per phase on the hot
+        #: path (the null-object fast path: a run without an observer makes
+        #: zero hook calls and zero per-event attribute probes).
+        self._tracing = False
+        #: whether the retained naive (full-scan) stepper is selected.
+        self._naive = os.environ.get("REPRO_NAIVE_STEP") == "1"
+
+        # -- prebuilt hot-path structures (hoisted out of the cycle loop) --
+        # Per-channel lane map, built once from the wired links; both the
+        # initial stats object and every reset_stats() copy this template
+        # instead of re-walking topology.channels().
+        self._link_lanes_template: Dict[Tuple[int, int], int] = {}
+        for rid, router in enumerate(self.routers):
+            for port, link in enumerate(router.out_links):
+                if link is not None:
+                    self._link_lanes_template[(rid, port)] = link.lanes
+        self._stats.link_lanes.update(self._link_lanes_template)
+        # Upstream adjacency: _upstream[rid][port] = (neighbor, its port)
+        # for network ports, None for local/edge ports.
+        self._upstream: List[List[Optional[Tuple[int, int]]]] = [
+            [
+                None
+                if topology.is_local_port(rid, port)
+                else topology.neighbor(rid, port)
+                for port in range(topology.num_ports(rid))
+            ]
+            for rid in range(topology.num_routers)
+        ]
+        # Injection-side per-node lookups.
+        self._node_router_id: List[int] = [
+            topology.router_of_node(node)
+            for node in range(topology.num_nodes)
+        ]
+        self._node_router: List[Router] = [
+            self.routers[rid] for rid in self._node_router_id
+        ]
+        self._node_port: List[int] = [
+            topology.local_port_of_node(node)
+            for node in range(topology.num_nodes)
+        ]
+        self._node_lanes: List[int] = [
+            router._local_lanes for router in self._node_router
+        ]
+        self._all_nodes = range(topology.num_nodes)
+        self._credit_delay = self.config.credit_delay
+        self._merging = self.config.flit_merging
+        self._default_packet_flits = flits_per_packet(
+            self.config.data_packet_bits, self.flit_width
+        )
+
+        # -- active sets (the event-driven kernel's work lists) --
+        #: routers that may hold buffered flits; conservative superset,
+        #: pruned lazily when a drained router is visited.
+        self._active_routers: set = set()
+        #: source nodes that may have queued or mid-injection packets.
+        self._active_sources: set = set()
+
+        self._install_routing_tables()
 
     # -- construction ---------------------------------------------------------
     def _wire_links(self) -> None:
@@ -158,35 +228,104 @@ class Network:
                     port, link, other_cfg.num_vcs, other_cfg.buffer_depth
                 )
 
+    def _install_routing_tables(self) -> None:
+        """(Re)install precomputed RC/VA tables on every router.
+
+        Tables are only valid when the routing discipline is a pure
+        function of (router, destination) *and* no fault injector can
+        reroute around dead channels mid-run; otherwise every router falls
+        back to dynamic per-packet lookups.  The naive reference stepper
+        also runs table-free so it exercises the original code path
+        end-to-end.
+        """
+        routers = getattr(self, "routers", None)
+        if not routers:
+            return
+        tables = None
+        if not self._naive and self.faults is None:
+            tables = self._routing.build_route_tables()
+        if tables is None:
+            for router in routers:
+                router.set_routing_tables(None, None)
+            return
+        default_va = self._routing.uses_default_va()
+        for rid, router in enumerate(routers):
+            va_table = None
+            if default_va:
+                va_table = [
+                    [
+                        (port, vc, False)
+                        for vc in range(router.out_vc_count[port])
+                    ]
+                    for port in range(router.num_ports)
+                ]
+            router.set_routing_tables(tables[rid], va_table)
+
     # -- public API -------------------------------------------------------------
     @property
     def stats(self) -> NetworkStats:
         return self._stats
 
+    @property
+    def routing(self) -> Routing:
+        return self._routing
+
+    @routing.setter
+    def routing(self, routing: Routing) -> None:
+        self._routing = routing
+        self._install_routing_tables()
+
+    @property
+    def naive_step(self) -> bool:
+        """Whether the retained full-scan reference stepper is selected."""
+        return self._naive
+
+    @naive_step.setter
+    def naive_step(self, naive: bool) -> None:
+        self._naive = bool(naive)
+        self._install_routing_tables()
+
+    def wake_router(self, router_id: int) -> None:
+        """Mark a router active (for callers that write flits directly)."""
+        self._active_routers.add(router_id)
+
+    def wake_source(self, node: int) -> None:
+        """Mark a source node active (for callers that bypass enqueue)."""
+        self._active_sources.add(node)
+
     def attach_observer(self, observer) -> None:
         """Attach observation hooks (an :class:`repro.obs.hooks.Observer`)
         to the network and all its routers."""
         self.obs = observer
+        self._tracing = observer is not None
         for router in self.routers:
             router.obs = observer
 
     def detach_observer(self) -> None:
         """Remove the observation hooks; tap points revert to no-ops."""
         self.obs = None
+        self._tracing = False
         for router in self.routers:
             router.obs = None
 
     def attach_faults(self, injector) -> None:
-        """Attach a fault injector to the network and all its routers."""
+        """Attach a fault injector to the network and all its routers.
+
+        Precomputed routing tables are cleared: under faults, route
+        computation must stay dynamic so rerouting around dead channels
+        can take effect.
+        """
         self.faults = injector
         for router in self.routers:
             router.faults = injector
+        self._install_routing_tables()
 
     def detach_faults(self) -> None:
         """Remove the fault injector; fault taps revert to no-ops."""
         self.faults = None
         for router in self.routers:
             router.faults = None
+        self._install_routing_tables()
 
     def attach_watchdog(self, watchdog) -> None:
         """Attach a deadlock/livelock watchdog (read-only: cannot change
@@ -218,10 +357,7 @@ class Network:
         self._stats = NetworkStats(
             self.topology.num_routers, self.topology.num_nodes
         )
-        for src, sport, _dst, _dport in self.topology.channels():
-            link = self.routers[src].out_links[sport]
-            if link is not None:
-                self._stats.link_lanes[(src, sport)] = link.lanes
+        self._stats.link_lanes.update(self._link_lanes_template)
         for router in self.routers:
             router.activity = type(router.activity)(
                 buffer_capacity_flits=router.activity.buffer_capacity_flits
@@ -237,11 +373,14 @@ class Network:
         payload: object = None,
     ) -> Packet:
         """Build a packet sized for this network's flit width."""
-        bits = payload_bits if payload_bits is not None else self.config.data_packet_bits
+        if payload_bits is None:
+            num_flits = self._default_packet_flits
+        else:
+            num_flits = flits_per_packet(payload_bits, self.flit_width)
         return Packet(
             src=src,
             dst=dst,
-            num_flits=flits_per_packet(bits, self.flit_width),
+            num_flits=num_flits,
             created_at=self.cycle,
             packet_class=packet_class,
             payload=payload,
@@ -264,6 +403,7 @@ class Network:
         if packet.measured and not retransmit:
             self._stats.packets_offered += 1
         source.queue.append(packet)
+        self._active_sources.add(packet.src)
         self.packets_in_flight += 1
         if self.obs is not None:
             self.obs.on_packet_enqueued(packet, self.cycle)
@@ -274,17 +414,79 @@ class Network:
         return self.packets_in_flight == 0
 
     def step(self) -> None:
-        """Advance the network by one clock cycle."""
+        """Advance the network by one clock cycle (event-driven kernel).
+
+        Only routers in the active set are visited; the set is pruned of
+        drained routers as they are encountered and iterated in ascending
+        router-id order, which keeps arbitration state evolution -- and
+        therefore every simulation result -- bit-identical to the retained
+        full-scan reference (:meth:`_step_naive`).
+        """
         if self.profiler is not None:
             self._step_profiled()
+            return
+        if self._naive:
+            self._step_naive()
             return
         cycle = self.cycle
         if self.faults is not None:
             self.faults.tick(self, cycle)
-        self._deliver_arrivals(cycle)
-        self._deliver_credits(cycle)
-        self._inject(cycle)
-        routing = self.routing
+        arrivals = self._arrivals.pop(cycle, None)
+        if arrivals:
+            self._deliver_arrival_events(arrivals, cycle)
+        credits = self._credits.pop(cycle, None)
+        if credits:
+            self._deliver_credit_events(credits, cycle)
+        if self._active_sources:
+            self._inject(cycle, None)
+        active = self._active_routers
+        live: List[Router] = []
+        if active:
+            routers = self.routers
+            routing = self._routing
+            for rid in sorted(active):
+                router = routers[rid]
+                if router.occupied_flits:
+                    live.append(router)
+                    router.allocate_vcs(routing, cycle)
+                else:
+                    active.discard(rid)
+            for router in live:
+                grants = router.allocate_switch(cycle)
+                if grants:
+                    self._transport(router, grants, cycle)
+        if self.measuring:
+            self._stats.measured_cycles += 1
+            # Inactive routers hold zero flits and would add zero to their
+            # occupancy integral; sampling only the live ones is exact.
+            for router in live:
+                router.activity.occupancy_integral += router.occupied_flits
+        if self._tracing:
+            self.obs.on_cycle_end(cycle, self.measuring)
+        if self.watchdog is not None:
+            self.watchdog.check(self, cycle)
+        self.cycle = cycle + 1
+
+    def _step_naive(self) -> None:
+        """The original full-scan cycle kernel, kept as the differential
+        reference for the event-driven :meth:`step`.
+
+        Visits every router and every source each cycle and performs
+        dynamic route computation (no precomputed tables).  Active-set
+        bookkeeping is still maintained so the kernels can be switched
+        mid-run.
+        """
+        cycle = self.cycle
+        if self.faults is not None:
+            self.faults.tick(self, cycle)
+        arrivals = self._arrivals.pop(cycle, None)
+        if arrivals:
+            self._deliver_arrival_events(arrivals, cycle)
+        credits = self._credits.pop(cycle, None)
+        if credits:
+            self._deliver_credit_events(credits, cycle)
+        self._inject(cycle, self._all_nodes)
+        routing = self._routing
         for router in self.routers:
             if router.occupied_flits:
                 router.allocate_vcs(routing, cycle)
@@ -307,37 +509,55 @@ class Network:
     def _step_profiled(self) -> None:
         """One clock cycle with per-phase wall-clock timing.
 
-        Mirrors :meth:`step` exactly (same phase order, same hook firing)
-        but brackets each phase with ``perf_counter`` and reports the six
-        durations to the attached profiler.  Kept separate so the default
-        path stays free of timing overhead.
+        Mirrors the event-driven :meth:`step` exactly (same phase order,
+        same hook firing) but brackets each phase with ``perf_counter``
+        and reports the six durations to the attached profiler.  Kept
+        separate so the default path stays free of timing overhead.
         """
         cycle = self.cycle
         if self.faults is not None:
             self.faults.tick(self, cycle)
         t0 = perf_counter()
-        self._deliver_arrivals(cycle)
+        arrivals = self._arrivals.pop(cycle, None)
+        if arrivals:
+            self._deliver_arrival_events(arrivals, cycle)
         t1 = perf_counter()
-        self._deliver_credits(cycle)
+        credits = self._credits.pop(cycle, None)
+        if credits:
+            self._deliver_credit_events(credits, cycle)
         t2 = perf_counter()
-        self._inject(cycle)
+        if self._naive:
+            self._inject(cycle, self._all_nodes)
+        elif self._active_sources:
+            self._inject(cycle, None)
         t3 = perf_counter()
-        routing = self.routing
-        for router in self.routers:
-            if router.occupied_flits:
-                router.allocate_vcs(routing, cycle)
+        routing = self._routing
+        live: List[Router] = []
+        if self._naive:
+            for router in self.routers:
+                if router.occupied_flits:
+                    live.append(router)
+                    router.allocate_vcs(routing, cycle)
+        else:
+            active = self._active_routers
+            routers = self.routers
+            for rid in sorted(active):
+                router = routers[rid]
+                if router.occupied_flits:
+                    live.append(router)
+                    router.allocate_vcs(routing, cycle)
+                else:
+                    active.discard(rid)
         t4 = perf_counter()
-        for router in self.routers:
-            if not router.occupied_flits:
-                continue
+        for router in live:
             grants = router.allocate_switch(cycle)
             if grants:
                 self._transport(router, grants, cycle)
         t5 = perf_counter()
         if self.measuring:
             self._stats.measured_cycles += 1
-            for router in self.routers:
-                router.sample_occupancy()
+            for router in live:
+                router.activity.occupancy_integral += router.occupied_flits
         if self.obs is not None:
             self.obs.on_cycle_end(cycle, self.measuring)
         if self.watchdog is not None:
@@ -368,52 +588,80 @@ class Network:
             self.step()
 
     # -- cycle phases -------------------------------------------------------------
-    def _deliver_arrivals(self, cycle: int) -> None:
-        events = self._arrivals.pop(cycle, None)
-        if not events:
-            return
+    def _deliver_arrival_events(
+        self, events: List[Tuple[int, int, int, Flit]], cycle: int
+    ) -> None:
+        routers = self.routers
+        wake = self._active_routers.add
         faults = self.faults
+        if faults is None:
+            for router_id, port, vc, flit in events:
+                routers[router_id].write_flit(port, vc, flit, cycle)
+                wake(router_id)
+            return
+        dead_routers = faults.dead_routers
+        dead_ports = faults.dead_ports
         for router_id, port, vc, flit in events:
-            if faults is not None and (
-                router_id in faults.dead_routers
-                or (router_id, port) in faults.dead_ports
-            ):
+            if router_id in dead_routers or (router_id, port) in dead_ports:
                 # The channel died under the flit mid-flight (its packet
                 # was purged by the injector when the fault applied).
                 continue
-            self.routers[router_id].write_flit(port, vc, flit, cycle)
+            routers[router_id].write_flit(port, vc, flit, cycle)
+            wake(router_id)
 
-    def _deliver_credits(self, cycle: int) -> None:
-        events = self._credits.pop(cycle, None)
-        if not events:
-            return
-        obs = self.obs
+    def _deliver_credit_events(
+        self, events: List[Tuple[int, int, int, bool]], cycle: int
+    ) -> None:
+        # No router wake-up needed here: credits and VC releases only
+        # change the eligibility of flits the receiving router already
+        # buffers, and a router holding flits is active by invariant.
+        obs = self.obs if self._tracing else None
+        routers = self.routers
         for router_id, port, vc, release in events:
-            router = self.routers[router_id]
+            router = routers[router_id]
             router.return_credit(port, vc)
             if release:
-                router.release_vc(port, vc)
+                router.out_vc_owner[port][vc] = None
             if obs is not None:
                 obs.on_credit_return(router_id, port, vc, cycle)
 
-    def _inject(self, cycle: int) -> None:
-        topo = self.topology
-        obs = self.obs
+    def _inject(self, cycle: int, nodes: Optional[Iterable[int]]) -> None:
+        """Inject source-queue flits into local input buffers.
+
+        ``nodes=None`` is the event-driven mode: only active sources are
+        visited (in ascending node order, matching a full scan) and
+        drained ones are pruned.  Passing an explicit node range is the
+        naive mode -- every node is visited, nothing is pruned.
+        """
+        active_sources = self._active_sources
+        prune = nodes is None
+        if prune:
+            nodes = sorted(active_sources)
+        sources = self.sources
+        obs = self.obs if self._tracing else None
         faults = self.faults
-        for node, source in enumerate(self.sources):
-            if not source.mid_packet and not source.queue:
+        node_router = self._node_router
+        node_port = self._node_port
+        node_lanes = self._node_lanes
+        wake = self._active_routers.add
+        for node in nodes:
+            source = sources[node]
+            # ``mid_packet`` inlined (next_flit < len(flits)) on this path.
+            if source.next_flit >= len(source.flits) and not source.queue:
+                if prune:
+                    active_sources.discard(node)
                 continue
             if (
                 faults is not None
-                and topo.router_of_node(node) in faults.dead_routers
+                and self._node_router_id[node] in faults.dead_routers
             ):
                 continue  # the node fell off the network with its router
-            router = self.routers[topo.router_of_node(node)]
-            port = topo.local_port_of_node(node)
-            lanes = router.config.lanes if self.config.flit_merging else 1
+            router = node_router[node]
+            port = node_port[node]
+            lanes = node_lanes[node]
             budget = lanes
             while budget > 0:
-                if not source.mid_packet:
+                if source.next_flit >= len(source.flits):
                     if not source.queue:
                         break
                     vc = self._pick_injection_vc(router, port)
@@ -429,14 +677,16 @@ class Network:
                     break
                 flit = source.flits[source.next_flit]
                 router.write_flit(port, source.vc, flit, cycle)
+                wake(router.router_id)
                 source.next_flit += 1
                 budget -= 1
                 if obs is not None:
                     obs.on_flit_injected(
                         node, router.router_id, port, source.vc, flit, cycle
                     )
-                if not source.mid_packet:
+                if source.next_flit >= len(source.flits):
                     source.flits = []
+                    source.next_flit = 0
                     source.vc = None
 
     def _pick_injection_vc(self, router: Router, port: int) -> Optional[int]:
@@ -469,82 +719,96 @@ class Network:
     def _transport(
         self, router: Router, grants: List[Grant], cycle: int
     ) -> None:
-        topo = self.topology
         rid = router.router_id
-        obs = self.obs
-        track_links = self.measuring or obs is not None
-        used_ports = set()
+        obs = self.obs if self._tracing else None
+        measuring = self.measuring
+        track_links = measuring or obs is not None
+        faults = self.faults
+        merging = self._merging
+        is_ejection = router.is_ejection
+        out_links = router.out_links
+        upstream_ports = self._upstream[rid]
+        arrivals = self._arrivals
+        credits = self._credits
+        credit_when = cycle + self._credit_delay
+        stats = self._stats
+        used_ports = set() if track_links else None
         for grant in grants:
             router.commit_grant(grant)
             if obs is not None:
                 obs.on_switch_grant(rid, grant, cycle)
             flit = grant.flit
             packet = flit.packet
-            if router.is_ejection[grant.out_port]:
+            out_port = grant.out_port
+            if is_ejection[out_port]:
                 if flit.is_head and packet.min_lanes is not None:
-                    eject_lanes = (
-                        router.config.lanes if self.config.flit_merging else 1
-                    )
-                    packet.min_lanes = min(packet.min_lanes, eject_lanes)
+                    eject_lanes = router._local_lanes
+                    if eject_lanes < packet.min_lanes:
+                        packet.min_lanes = eject_lanes
                 if obs is not None:
-                    obs.on_flit_ejected(rid, grant.out_port, flit, cycle)
+                    obs.on_flit_ejected(rid, out_port, flit, cycle)
                 if flit.is_tail:
                     self._complete_packet(packet, cycle)
             else:
-                link = router.out_links[grant.out_port]
+                link = out_links[out_port]
                 if flit.is_head:
                     packet.hops += 1
                     if packet.min_lanes is not None:
-                        lanes = link.lanes if self.config.flit_merging else 1
+                        lanes = link.lanes if merging else 1
                         if (
-                            self.faults is not None
-                            and (rid, grant.out_port)
-                            in self.faults.degraded_ports
+                            faults is not None
+                            and (rid, out_port) in faults.degraded_ports
                         ):
                             lanes = 1
-                        packet.min_lanes = min(packet.min_lanes, lanes)
+                        if lanes < packet.min_lanes:
+                            packet.min_lanes = lanes
                 if (
-                    self.faults is not None
-                    and (rid, grant.out_port) in self.faults.flaky_ports
+                    faults is not None
+                    and (rid, out_port) in faults.flaky_ports
                 ):
                     packet.corrupted = True  # bit-flip fault on this channel
-                self._arrivals.setdefault(cycle + link.delay, []).append(
+                when = cycle + link.delay
+                bucket = arrivals.get(when)
+                if bucket is None:
+                    bucket = arrivals[when] = []
+                bucket.append(
                     (link.dst_router, link.dst_port, grant.out_vc, flit)
                 )
                 if obs is not None:
                     obs.on_link_traversal(
-                        rid, grant.out_port, link.dst_router, link.dst_port,
+                        rid, out_port, link.dst_router, link.dst_port,
                         flit, cycle,
                     )
                 if track_links:
-                    used_ports.add(grant.out_port)
-                    if self.measuring:
-                        key = (rid, grant.out_port)
-                        self._stats.link_flits[key] = (
-                            self._stats.link_flits.get(key, 0) + 1
+                    used_ports.add(out_port)
+                    if measuring:
+                        key = (rid, out_port)
+                        stats.link_flits[key] = (
+                            stats.link_flits.get(key, 0) + 1
                         )
             # Credit for the freed input slot returns to the upstream router
             # (injection from the local node needs none: the source reads
             # buffer occupancy directly).
-            if not topo.is_local_port(rid, grant.in_port):
-                upstream = topo.neighbor(rid, grant.in_port)
+            if not is_ejection[grant.in_port]:
+                upstream = upstream_ports[grant.in_port]
                 if upstream is not None:
-                    up_router, up_port = upstream
-                    self._credits.setdefault(
-                        cycle + self.config.credit_delay, []
-                    ).append(
-                        # A tail pop also releases the VC for a new packet
-                        # (conservative VC reallocation).
-                        (up_router, up_port, grant.in_vc, flit.is_tail)
+                    bucket = credits.get(credit_when)
+                    if bucket is None:
+                        bucket = credits[credit_when] = []
+                    # A tail pop also releases the VC for a new packet
+                    # (conservative VC reallocation).
+                    bucket.append(
+                        (upstream[0], upstream[1], grant.in_vc, flit.is_tail)
                     )
-        for port in used_ports:
-            if self.measuring:
-                key = (rid, port)
-                self._stats.link_busy_cycles[key] = (
-                    self._stats.link_busy_cycles.get(key, 0) + 1
-                )
-            if obs is not None:
-                obs.on_link_busy(rid, port, cycle)
+        if used_ports:
+            for port in used_ports:
+                if measuring:
+                    key = (rid, port)
+                    stats.link_busy_cycles[key] = (
+                        stats.link_busy_cycles.get(key, 0) + 1
+                    )
+                if obs is not None:
+                    obs.on_link_busy(rid, port, cycle)
 
     def _complete_packet(self, packet: Packet, cycle: int) -> None:
         packet.received_at = cycle

@@ -30,7 +30,6 @@ downstream buffer slot, consumed on ST and returned (after
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.noc.arbiters import TwoStageAllocator
@@ -58,16 +57,43 @@ class _VCState:
         self.out_vc = None
 
 
-@dataclass
 class Grant:
-    """One switch-traversal decision for the current cycle."""
+    """One switch-traversal decision for the current cycle.
 
-    in_port: int
-    in_vc: int
-    flit: Flit
-    out_port: int
-    out_vc: Optional[int]  # None for ejection ports
-    merged: bool = False  # True for the second flit of a wide-link pair
+    A plain ``__slots__`` record rather than a dataclass: millions are
+    created per run, so per-instance dict elimination and a hand-written
+    ``__init__`` are measurable wins on the SA/ST hot path.
+    """
+
+    __slots__ = ("in_port", "in_vc", "flit", "out_port", "out_vc", "merged")
+
+    def __init__(
+        self,
+        in_port: int,
+        in_vc: int,
+        flit: Flit,
+        out_port: int,
+        out_vc: Optional[int],  # None for ejection ports
+        merged: bool = False,  # True for the second flit of a wide-link pair
+    ) -> None:
+        self.in_port = in_port
+        self.in_vc = in_vc
+        self.flit = flit
+        self.out_port = out_port
+        self.out_vc = out_vc
+        self.merged = merged
+
+    def __repr__(self) -> str:
+        return (
+            f"Grant(in_port={self.in_port}, in_vc={self.in_vc}, "
+            f"flit={self.flit!r}, out_port={self.out_port}, "
+            f"out_vc={self.out_vc}, merged={self.merged})"
+        )
+
+
+# Shared immutable sentinels so the all-idle SA path allocates nothing.
+_NO_VCS: List[int] = []
+_NO_GRANTS: List[Grant] = []
 
 
 class Router:
@@ -104,6 +130,22 @@ class Router:
         self.activity = RouterActivity(
             buffer_capacity_flits=vcs * num_ports * config.buffer_depth
         )
+        # Hot-path constants hoisted out of the per-cycle loops.
+        self.num_vcs = vcs
+        self._pipeline_offset = network_config.router_pipeline_stages - 1
+        self._merging = network_config.flit_merging
+        # Lanes usable on injection/ejection at this router's local ports.
+        self._local_lanes = config.lanes if network_config.flit_merging else 1
+        # Static per-port lane count (link width / flit width; ejection uses
+        # the router's own lane provisioning).  Fault-induced degradation is
+        # layered on top by the callers that care.
+        self._static_lanes: List[int] = [0] * num_ports
+        # Precomputed routing tables, installed by the owning Network when
+        # the routing discipline is a pure function of (router, dest).
+        # _route_table[dst] -> output port; _va_table[out_port] -> the
+        # default VA candidate tuple list.  Both None => dynamic lookups.
+        self._route_table: Optional[List[int]] = None
+        self._va_table: Optional[List[Tuple[Tuple[int, int, bool], ...]]] = None
         self.occupied_flits = 0
         # Number of non-empty VCs per input port (fast-path SA skip).
         self._port_active: List[int] = [0] * num_ports
@@ -130,6 +172,19 @@ class Router:
         self.out_credits[port] = [downstream_depth] * downstream_vcs
         self.out_vc_owner[port] = [None] * downstream_vcs
         self._credit_ceiling[port] = downstream_depth
+        if link is not None:
+            self._static_lanes[port] = link.lanes
+        elif self.is_ejection[port]:
+            self._static_lanes[port] = self.config.lanes
+
+    def set_routing_tables(
+        self,
+        route_table: Optional[List[int]],
+        va_table: Optional[List[Tuple[Tuple[int, int, bool], ...]]],
+    ) -> None:
+        """Install (or clear, with ``None``) precomputed RC/VA tables."""
+        self._route_table = route_table
+        self._va_table = va_table
 
     # -- stage 1: buffer write ----------------------------------------------
     def write_flit(self, port: int, vc: int, flit: Flit, cycle: int) -> None:
@@ -141,7 +196,7 @@ class Router:
                 f"buffer overflow at router {self.router_id} "
                 f"port {port} vc {vc}: credit protocol violated"
             )
-        flit.ready_at = cycle + self.network_config.router_pipeline_stages - 1
+        flit.ready_at = cycle + self._pipeline_offset
         state.queue.append(flit)
         if (port, vc) not in self._active:
             self._active[(port, vc)] = True
@@ -162,65 +217,84 @@ class Router:
         it handles back-to-back packets sharing a VC correctly).
         """
         active = list(self._active.keys())
-        offset = self._va_offset % max(1, len(active))
+        count = len(active)
+        offset = self._va_offset % max(1, count)
         self._va_offset += 1
+        if offset:
+            # Rotate once by slicing instead of taking a modulo per element.
+            active = active[offset:] + active[:offset]
         obs = self.obs
-        for index in range(len(active)):
-            port, vc = active[(index + offset) % len(active)]
-            state = self._vc_states[port][vc]
-            if not state.queue:
+        faults = self.faults
+        router_id = self.router_id
+        vc_states = self._vc_states
+        is_ejection = self.is_ejection
+        out_vc_owner = self.out_vc_owner
+        activity = self.activity
+        route_table = self._route_table
+        va_table = self._va_table
+        for port, vc in active:
+            state = vc_states[port][vc]
+            queue = state.queue
+            if not queue:
                 continue
-            flit = state.queue[0]
+            flit = queue[0]
             packet = flit.packet
             if state.packet_id != packet.packet_id:
                 if not flit.is_head:
                     raise RuntimeError(
-                        f"wormhole violation at router {self.router_id}: "
+                        f"wormhole violation at router {router_id}: "
                         f"body flit of packet {packet.packet_id} at queue "
                         "head without its head flit"
                     )
                 state.packet_id = packet.packet_id
-                state.route_port = routing.output_port(self.router_id, packet)
+                if route_table is not None:
+                    state.route_port = route_table[packet.dst]
+                else:
+                    state.route_port = routing.output_port(router_id, packet)
                 state.out_vc = None
-                self.activity.route_computations += 1
-            faults = self.faults
+                activity.route_computations += 1
             if (
                 faults is not None
                 and state.out_vc is None
                 and flit.is_head
-                and faults.port_dead(self.router_id, state.route_port)
+                and faults.port_dead(router_id, state.route_port)
             ):
                 # The routed channel died before the wormhole committed:
                 # re-run RC (the fault-aware routing detours around it).
-                state.route_port = routing.output_port(self.router_id, packet)
-                self.activity.route_computations += 1
+                state.route_port = routing.output_port(router_id, packet)
+                activity.route_computations += 1
             if state.out_vc is not None or flit.ready_at > cycle:
                 continue
             out_port = state.route_port
-            if self.is_ejection[out_port]:
+            if is_ejection[out_port]:
                 # Ejection needs no downstream VC; mark with a sentinel so
                 # SA treats the flit as allocated.
                 state.out_vc = -1
                 continue
             if not flit.is_head:
                 continue
-            for cand_port, cand_vc, escaped in routing.va_candidates(
-                self.router_id, packet, out_port, self.out_vc_count
-            ):
+            if va_table is not None:
+                candidates = va_table[out_port]
+            else:
+                candidates = routing.va_candidates(
+                    router_id, packet, out_port, self.out_vc_count
+                )
+            for cand_port, cand_vc, escaped in candidates:
                 if faults is not None and not self._candidate_alive(
                     faults, cand_port, cand_vc
                 ):
                     continue
-                if self.out_vc_owner[cand_port][cand_vc] is None:
-                    self.out_vc_owner[cand_port][cand_vc] = packet.packet_id
+                owners = out_vc_owner[cand_port]
+                if owners[cand_vc] is None:
+                    owners[cand_vc] = packet.packet_id
                     state.out_vc = cand_vc
                     if escaped:
                         packet.on_escape = True
                         state.route_port = cand_port
-                    self.activity.vc_allocations += 1
+                    activity.vc_allocations += 1
                     if obs is not None:
                         obs.on_vc_allocated(
-                            self.router_id, port, vc, state.route_port,
+                            router_id, port, vc, state.route_port,
                             cand_vc, packet, cycle,
                         )
                     break
@@ -238,14 +312,43 @@ class Router:
         return True
 
     def _eligible_vcs(self, port: int, cycle: int) -> List[int]:
-        """VCs of ``port`` whose head flit could traverse the switch now."""
+        """VCs of ``port`` whose head flit could traverse the switch now.
+
+        VC ascending order is load-bearing: ``_pick_second_flit`` scans the
+        returned list in order when choosing a same-port companion flit.
+        """
+        if self.faults is not None:
+            return self._eligible_vcs_faulty(port, cycle)
+        eligible = []
+        states = self._vc_states[port]
+        is_ejection = self.is_ejection
+        out_credits = self.out_credits
+        for vc in range(self.num_vcs):
+            state = states[vc]
+            queue = state.queue
+            if not queue:
+                continue
+            flit = queue[0]
+            if flit.ready_at > cycle:
+                continue
+            out_vc = state.out_vc
+            if out_vc is None:
+                continue
+            if state.packet_id != flit.packet.packet_id:
+                continue  # new packet still needs RC/VA
+            out_port = state.route_port
+            if is_ejection[out_port]:
+                eligible.append(vc)
+            elif out_credits[out_port][out_vc] > 0:
+                eligible.append(vc)
+        return eligible
+
+    def _eligible_vcs_faulty(self, port: int, cycle: int) -> List[int]:
+        """Fault-aware variant of ``_eligible_vcs`` (off the fast path)."""
         eligible = []
         faults = self.faults
-        for vc in range(self.config.num_vcs):
-            if (
-                faults is not None
-                and (self.router_id, port, vc) in faults.stuck_vcs
-            ):
+        for vc in range(self.num_vcs):
+            if (self.router_id, port, vc) in faults.stuck_vcs:
                 continue  # this input VC stopped arbitrating
             state = self._vc_states[port][vc]
             if not state.queue:
@@ -258,7 +361,7 @@ class Router:
             if state.packet_id != flit.packet.packet_id:
                 continue  # new packet still needs RC/VA
             out_port = state.route_port
-            if faults is not None and not self.is_ejection[out_port]:
+            if not self.is_ejection[out_port]:
                 if faults.port_dead(self.router_id, out_port):
                     continue  # committed across a dead channel; purge pending
             if self.is_ejection[out_port]:
@@ -282,58 +385,113 @@ class Router:
 
     def allocate_switch(self, cycle: int) -> List[Grant]:
         """SA (both sub-stages) and the wide-link second-grant pass."""
-        eligible_by_port: List[List[int]] = []
-        bids: List[Optional[int]] = []  # per input port: bidding VC
-        for port in range(self.num_ports):
-            if self._port_active[port] == 0:
-                eligible_by_port.append([])
-                bids.append(None)
+        num_ports = self.num_ports
+        port_active = self._port_active
+        vc_states = self._vc_states
+        allocator = self.allocator
+        activity = self.activity
+        num_vcs = self.num_vcs
+        faulty = self.faults is not None
+        is_ejection = self.is_ejection
+        out_credits = self.out_credits
+        eligible_by_port: List[List[int]] = [_NO_VCS] * num_ports
+        bids: List[Optional[int]] = [None] * num_ports  # per input port
+        bidders: Optional[Dict[int, List[int]]] = None
+        for port in range(num_ports):
+            if port_active[port] == 0:
                 continue
-            eligible = self._eligible_vcs(port, cycle)
-            eligible_by_port.append(eligible)
-            if eligible:
-                bid = self.allocator.pick_input_vc(port, eligible)
-                self.activity.arbitrations += 1
+            if faulty:
+                eligible = self._eligible_vcs_faulty(port, cycle)
             else:
-                bid = None
-            bids.append(bid)
-
-        # Group bids by requested output port.
-        bidders: Dict[int, List[int]] = {}
-        for port, vc in enumerate(bids):
-            if vc is None:
+                # _eligible_vcs inlined: one method call per active port
+                # per cycle is measurable at mesh scale.
+                eligible = []
+                states = vc_states[port]
+                for vc in range(num_vcs):
+                    state = states[vc]
+                    queue = state.queue
+                    if not queue:
+                        continue
+                    flit = queue[0]
+                    if flit.ready_at > cycle:
+                        continue
+                    out_vc = state.out_vc
+                    if out_vc is None:
+                        continue
+                    if state.packet_id != flit.packet.packet_id:
+                        continue  # new packet still needs RC/VA
+                    out_port = state.route_port
+                    if is_ejection[out_port]:
+                        eligible.append(vc)
+                    elif out_credits[out_port][out_vc] > 0:
+                        eligible.append(vc)
+            if not eligible:
                 continue
-            out_port = self._vc_states[port][vc].route_port
-            bidders.setdefault(out_port, []).append(port)
+            eligible_by_port[port] = eligible
+            if len(eligible) == 1:
+                # Single requester: a round-robin scan always grants it and
+                # parks priority just past it (see RoundRobinArbiter.
+                # grant_from); apply the pointer update directly.
+                bid = eligible[0]
+                arbiter = allocator.input_stage[port]
+                nxt = bid + 1
+                arbiter._next = nxt if nxt < arbiter.num_requesters else 0
+            else:
+                bid = allocator.pick_input_vc(port, eligible)
+            activity.arbitrations += 1
+            bids[port] = bid
+            # Group bids by requested output port (same insertion order as
+            # a separate pass over ``bids`` -- ports ascend).
+            out_port = vc_states[port][bid].route_port
+            if bidders is None:
+                bidders = {out_port: [port]}
+            elif out_port in bidders:
+                bidders[out_port].append(port)
+            else:
+                bidders[out_port] = [port]
+        if bidders is None:
+            return _NO_GRANTS
 
+        static_lanes = self._static_lanes
+        merging = self._merging
+        faults = self.faults
         grants: List[Grant] = []
         for out_port, ports in bidders.items():
-            winner_port = self.allocator.pick_output_winner(out_port, ports)
-            self.activity.arbitrations += 1
+            if len(ports) == 1:
+                # Same single-requester shortcut as the input stage.
+                winner_port = ports[0]
+                arbiter = allocator.output_stage[out_port]
+                nxt = winner_port + 1
+                arbiter._next = nxt if nxt < arbiter.num_requesters else 0
+            else:
+                winner_port = allocator.pick_output_winner(out_port, ports)
+            activity.arbitrations += 1
             if winner_port is None:
                 continue
             winner_vc = bids[winner_port]
-            winner_state = self._vc_states[winner_port][winner_vc]
+            winner_state = vc_states[winner_port][winner_vc]
             first = Grant(
                 in_port=winner_port,
                 in_vc=winner_vc,
                 flit=winner_state.queue[0],
                 out_port=out_port,
-                out_vc=None if self.is_ejection[out_port] else winner_state.out_vc,
+                out_vc=None if is_ejection[out_port] else winner_state.out_vc,
             )
             grants.append(first)
-            if (
-                self._output_lanes(out_port) < 2
-                or not self.network_config.flit_merging
-            ):
+            if not merging or static_lanes[out_port] < 2:
                 continue
+            if (
+                faults is not None
+                and (self.router_id, out_port) in faults.degraded_ports
+            ):
+                continue  # wide link fallen back to narrow operation
             second = self._pick_second_flit(
                 out_port, first, bids, eligible_by_port, cycle
             )
             if second is not None:
                 second.merged = True
                 grants.append(second)
-                self.activity.merged_flit_pairs += 1
+                activity.merged_flit_pairs += 1
         return grants
 
     def _pick_second_flit(
@@ -420,17 +578,20 @@ class Router:
         if flit is not grant.flit:
             raise RuntimeError("switch traversal popped an unexpected flit")
         self.occupied_flits -= 1
-        self.activity.buffer_reads += 1
-        self.activity.crossbar_traversals += 1
+        activity = self.activity
+        activity.buffer_reads += 1
+        activity.crossbar_traversals += 1
         if not state.queue:
             if self._active.pop((grant.in_port, grant.in_vc), None):
                 self._port_active[grant.in_port] -= 1
-        if grant.out_vc is not None and grant.out_vc >= 0:
-            self.out_credits[grant.out_port][grant.out_vc] -= 1
-            if self.out_credits[grant.out_port][grant.out_vc] < 0:
+        out_vc = grant.out_vc
+        if out_vc is not None and out_vc >= 0:
+            credits = self.out_credits[grant.out_port]
+            credits[out_vc] -= 1
+            if credits[out_vc] < 0:
                 raise RuntimeError(
                     f"negative credits at router {self.router_id} "
-                    f"port {grant.out_port} vc {grant.out_vc}"
+                    f"port {grant.out_port} vc {out_vc}"
                 )
         if flit.is_tail:
             # The input VC is free for a new packet now, but the *output*

@@ -43,6 +43,56 @@ class Routing:
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
 
+    def build_route_tables(self) -> Optional[List[List[int]]]:
+        """Precomputed ``tables[router][dst_node] -> out_port``, or ``None``.
+
+        A discipline may return full (router, destination) -> output-port
+        tables when :meth:`output_port` is a *pure* function of the current
+        router and the packet's destination -- no per-packet routing state
+        (torus dateline classes, escape-channel flags) and no dependence on
+        the packet's source.  :class:`~repro.noc.network.Network` then
+        installs one table row per router so route computation on the cycle
+        loop is a list index instead of a method call.  Disciplines with
+        dynamic state (torus dateline, table/escape routing, fault-aware
+        rerouting) return ``None`` and keep the per-packet lookup.
+        """
+        return None
+
+    def uses_default_va(self) -> bool:
+        """Whether VC-allocation candidates can be precomputed per port.
+
+        True when the discipline keeps the base-class ``allowed_vcs`` /
+        ``va_candidates`` (every downstream VC of the routed port, in
+        order), which makes the candidate list a pure function of the
+        output port.
+        """
+        cls = type(self)
+        return (
+            cls.allowed_vcs is Routing.allowed_vcs
+            and cls.va_candidates is Routing.va_candidates
+        )
+
+    def _probe_tables(self) -> List[List[int]]:
+        """Build full route tables by probing :meth:`output_port`.
+
+        Probe packets carry ``packet_id=-1`` explicitly so table
+        construction never draws from the global packet-id counter (which
+        the sweep engine rewinds for bit-identical replay).
+        """
+        topo = self.topology
+        tables: List[List[int]] = []
+        for router in range(topo.num_routers):
+            row = [
+                self.output_port(
+                    router,
+                    Packet(src=0, dst=dst, num_flits=1, created_at=0,
+                           packet_id=-1),
+                )
+                for dst in range(topo.num_nodes)
+            ]
+            tables.append(row)
+        return tables
+
     def output_port(self, router: int, packet: Packet) -> int:
         """Output port the packet requests at ``router``.
 
@@ -103,6 +153,10 @@ class XYRouting(Routing):
         if isinstance(topology, Torus):
             raise TypeError("use TorusXYRouting for torus topologies")
         super().__init__(topology)
+
+    def build_route_tables(self) -> List[List[int]]:
+        # X-Y is a pure function of (router, destination): precomputable.
+        return self._probe_tables()
 
     def output_port(self, router: int, packet: Packet) -> int:
         ejection = self._ejection_port(router, packet)
@@ -210,6 +264,10 @@ class FlattenedButterflyRouting(Routing):
                 f"got {type(topology).__name__}"
             )
         super().__init__(topology)
+
+    def build_route_tables(self) -> List[List[int]]:
+        # Row-then-column is a pure function of (router, destination).
+        return self._probe_tables()
 
     def output_port(self, router: int, packet: Packet) -> int:
         ejection = self._ejection_port(router, packet)

@@ -1,0 +1,243 @@
+"""Differential testing: event-driven kernel vs the naive reference stepper.
+
+The event-driven :meth:`Network.step` must be *bit-identical* to the
+retained full-scan :meth:`Network._step_naive` -- same flit movements, same
+arbitration pointer evolution, same delivered packets, every cycle.  These
+tests drive both kernels over a randomized matrix of mesh sizes, layouts,
+injection rates and seeds (plus a faulty configuration) and compare a deep
+per-cycle digest of the complete simulation state.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.layouts import build_network, layout_by_name
+from repro.noc.flit import reset_packet_ids
+
+
+def _digest(net):
+    """Deep per-cycle state digest: anything that can diverge shows here."""
+    routers = []
+    for router in net.routers:
+        allocator = router.allocator
+        routers.append((
+            router.occupied_flits,
+            router._va_offset,
+            tuple(router._port_active),
+            tuple(tuple(credits) for credits in router.out_credits),
+            tuple(tuple(owners) for owners in router.out_vc_owner),
+            tuple(arb._next for arb in allocator.input_stage),
+            tuple(arb._next for arb in allocator.output_stage),
+            tuple(arb._next for arb in allocator.second_output_stage),
+            tuple(
+                (
+                    port,
+                    vc,
+                    state.packet_id,
+                    state.route_port,
+                    state.out_vc,
+                    tuple(
+                        (f.packet.packet_id, f.index, f.ready_at)
+                        for f in state.queue
+                    ),
+                )
+                for port in range(router.num_ports)
+                for vc in range(router.num_vcs)
+                if (state := router._vc_states[port][vc]).queue
+                or state.packet_id is not None
+            ),
+        ))
+    events = tuple(
+        (when, tuple((r, p, v, f.packet.packet_id, f.index) for r, p, v, f in evs))
+        for when, evs in sorted(net._arrivals.items())
+    )
+    credits = tuple(
+        (when, tuple(evs)) for when, evs in sorted(net._credits.items())
+    )
+    return (
+        net.cycle,
+        net.packets_in_flight,
+        net.total_delivered,
+        tuple(routers),
+        events,
+        credits,
+    )
+
+
+def _run_one(naive, mesh_size, layout, rate, seed, cycles, payload_bits):
+    """Drive one kernel with deterministic traffic; return digests."""
+    reset_packet_ids()
+    net = build_network(layout_by_name(layout, mesh_size))
+    net.naive_step = naive
+    assert net.naive_step is naive
+    rng = random.Random(seed)
+    num_nodes = net.topology.num_nodes
+    digests = []
+    delivered = []
+    net.on_delivery = lambda packet, cycle: delivered.append(
+        (packet.packet_id, packet.src, packet.dst, cycle, packet.hops,
+         packet.min_lanes)
+    )
+    for _ in range(cycles):
+        for node in range(num_nodes):
+            if rng.random() < rate:
+                dst = rng.randrange(num_nodes)
+                if dst != node:
+                    net.enqueue(
+                        net.make_packet(node, dst, payload_bits=payload_bits)
+                    )
+        net.step()
+        digests.append(_digest(net))
+    # Let in-flight traffic settle (bounded, in case of congestion).
+    settle = 0
+    while not net.idle() and settle < 3000:
+        net.step()
+        digests.append(_digest(net))
+        settle += 1
+    return digests, delivered
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    mesh_size=st.sampled_from([2, 3, 4]),
+    layout=st.sampled_from(["baseline", "diagonal+BL"]),
+    rate=st.floats(min_value=0.01, max_value=0.35),
+    seed=st.integers(min_value=0, max_value=2**16),
+    payload_bits=st.sampled_from([64, 1024]),
+)
+def test_event_kernel_matches_naive(mesh_size, layout, rate, seed, payload_bits):
+    cycles = 120
+    event = _run_one(False, mesh_size, layout, rate, seed, cycles, payload_bits)
+    naive = _run_one(True, mesh_size, layout, rate, seed, cycles, payload_bits)
+    assert event[1] == naive[1], "delivered-packet records diverged"
+    assert len(event[0]) == len(naive[0]), "kernels ran different cycle counts"
+    for cycle_index, (a, b) in enumerate(zip(event[0], naive[0])):
+        assert a == b, f"state digest diverged at step {cycle_index}"
+
+
+def test_event_kernel_matches_naive_under_faults():
+    """The dynamic-routing fallback path must also be identical."""
+    from repro.faults.schedule import FaultSchedule, FaultSpec
+    from repro.traffic.patterns import pattern_by_name
+    from repro.traffic.runner import run_synthetic
+
+    def run(naive):
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 4))
+        net.naive_step = naive
+        faults = FaultSchedule(
+            specs=(
+                FaultSpec(kind="link", router=5, port=2, mode="transient",
+                          at=150, repair_after=200),
+                FaultSpec(kind="router", router=10, mode="transient",
+                          at=260, repair_after=120),
+            ),
+            seed=3,
+        )
+        result = run_synthetic(
+            net, pattern_by_name("uniform_random", net.topology),
+            0.08, seed=11, faults=faults,
+            warmup_packets=80, measure_packets=300,
+        )
+        stats = net.stats
+        return (
+            result.total_cycles,
+            stats.packets_offered,
+            len(stats.records),
+            sorted(
+                (r.packet_id, r.total, r.hops, r.transfer, r.blocking)
+                for r in stats.records
+            ),
+            _digest(net),
+        )
+
+    assert run(False) == run(True)
+
+
+def test_switching_kernels_mid_run_is_safe():
+    """Active sets are maintained by both kernels, so flipping mid-run
+    (e.g. to bisect a divergence) must not lose any traffic."""
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 3))
+    rng = random.Random(7)
+    num_nodes = net.topology.num_nodes
+    offered = 0
+    for step_index in range(300):
+        if step_index == 90:
+            net.naive_step = True
+        if step_index == 180:
+            net.naive_step = False
+        for node in range(num_nodes):
+            if rng.random() < 0.1:
+                dst = rng.randrange(num_nodes)
+                if dst != node:
+                    if net.enqueue(net.make_packet(node, dst)):
+                        offered += 1
+        net.step()
+    net.drain()
+    assert net.total_delivered == offered
+    assert net.total_buffered_flits() == 0
+
+
+def test_naive_step_env_var():
+    """REPRO_NAIVE_STEP=1 selects the reference stepper at construction."""
+    os.environ["REPRO_NAIVE_STEP"] = "1"
+    try:
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 2))
+        assert net.naive_step is True
+        # Dynamic lookups only: no precomputed tables in naive mode.
+        assert all(r._route_table is None for r in net.routers)
+    finally:
+        del os.environ["REPRO_NAIVE_STEP"]
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 2))
+    assert net.naive_step is False
+    assert all(r._route_table is not None for r in net.routers)
+
+
+def test_route_tables_match_dynamic_routing():
+    """Precomputed (router, dest) tables agree with per-packet RC."""
+    reset_packet_ids()
+    net = build_network(layout_by_name("diagonal+BL", 4))
+    routing = net.routing
+    for router in net.routers:
+        table = router._route_table
+        assert table is not None
+        for dst in range(net.topology.num_nodes):
+            probe = net.make_packet(src=0, dst=dst)
+            assert table[dst] == routing.output_port(router.router_id, probe)
+
+
+def test_route_tables_cleared_under_faults_and_restored():
+    from repro.faults.injector import FaultInjector
+    from repro.faults.schedule import FaultSchedule
+
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 3))
+    assert all(r._route_table is not None for r in net.routers)
+    injector = FaultInjector(FaultSchedule(specs=()), net.topology)
+    net.attach_faults(injector)
+    assert all(r._route_table is None for r in net.routers)
+    net.detach_faults()
+    assert all(r._route_table is not None for r in net.routers)
+
+
+@pytest.mark.parametrize("layout", ["baseline", "diagonal+BL"])
+def test_va_tables_follow_routing_kind(layout):
+    """XY routing precomputes VA candidates; probe one router's table."""
+    reset_packet_ids()
+    net = build_network(layout_by_name(layout, 3))
+    router = net.routers[0]
+    assert router._va_table is not None
+    for port in range(router.num_ports):
+        expected = [(port, vc, False) for vc in range(router.out_vc_count[port])]
+        assert list(router._va_table[port]) == expected
