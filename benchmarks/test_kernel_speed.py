@@ -45,3 +45,46 @@ def test_naive_kernel_still_runs(benchmark):
         iterations=1,
     )
     assert cycles > 0
+
+
+def test_metrics_off_overhead():
+    """Metrics disabled must cost <= 5% on the hot path.
+
+    "Disabled" is the shipped lifecycle: construct a KernelMetrics,
+    attach it, detach it before the run (the null-object fast path from
+    ``tests/test_obs_fastpath.py``).  Interleaved best-of-N A/B timing
+    cancels machine noise; the guard allows 5% plus a small absolute
+    slack so sub-millisecond jitter cannot fail a fast machine.
+    """
+    import time
+
+    from repro.core.layouts import build_network, layout_by_name
+    from repro.noc.flit import reset_packet_ids
+    from repro.obs.metrics import KernelMetrics
+    from repro.traffic.patterns import pattern_by_name
+    from repro.traffic.runner import run_synthetic
+
+    def run_once(with_lifecycle):
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 4))
+        if with_lifecycle:
+            metrics = KernelMetrics(net)
+            net.attach_observer(metrics)
+            net.detach_observer()
+        pattern = pattern_by_name("uniform_random", net.topology)
+        t0 = time.perf_counter()
+        run_synthetic(
+            net, pattern, 0.05, seed=11,
+            warmup_packets=100, measure_packets=600,
+        )
+        return time.perf_counter() - t0
+
+    run_once(True)  # warm caches before timing
+    plain = lifecycle = float("inf")
+    for _ in range(5):
+        plain = min(plain, run_once(False))
+        lifecycle = min(lifecycle, run_once(True))
+    assert lifecycle <= plain * 1.05 + 0.010, (
+        f"metrics-off lifecycle {lifecycle:.4f}s vs plain "
+        f"{plain:.4f}s exceeds the 5% budget"
+    )

@@ -74,6 +74,27 @@ def _execute_point_guarded(
     return execute_point(point)
 
 
+def _execute_point_timed(
+    point: SweepPoint, timeout_s: Optional[float]
+) -> tuple:
+    """Like :func:`_execute_point_guarded`, plus worker-side timing.
+
+    Submitted *instead of* the plain runner only when sweep telemetry is
+    active, so the telemetry-off path stays bit-for-bit the old code.
+    Returns ``(result, info)`` where ``info`` carries the worker pid, the
+    ``perf_counter`` at execution start (CLOCK_MONOTONIC on Linux, so the
+    parent's submit timestamp is directly comparable), and the wall time
+    spent simulating.
+    """
+    start_s = time.perf_counter()
+    result = _execute_point_guarded(point, timeout_s)
+    return result, {
+        "worker": os.getpid(),
+        "start_s": start_s,
+        "sim_s": time.perf_counter() - start_s,
+    }
+
+
 def _failed_result(point: SweepPoint, error: str) -> PointResult:
     """A placeholder result for a point whose execution failed.
 
@@ -121,6 +142,9 @@ class ExecDefaults:
     jobs: int = 1
     cache_dir: Optional[str] = None
     progress: Optional[Callable[[Progress], None]] = None
+    #: a :class:`repro.obs.manifest.SweepTelemetry` (or anything with its
+    #: ``record_point`` signature); ``None`` keeps the untimed fast path.
+    telemetry: Optional[object] = None
 
 
 def _defaults_from_env() -> ExecDefaults:
@@ -141,6 +165,7 @@ def configure(
     jobs: Optional[int] = None,
     cache_dir: object = _UNSET,
     progress: object = _UNSET,
+    telemetry: object = _UNSET,
 ) -> ExecDefaults:
     """Set engine-wide defaults; omitted arguments keep their value.
 
@@ -156,6 +181,8 @@ def configure(
         _defaults.cache_dir = str(cache_dir) if cache_dir is not None else None
     if progress is not _UNSET:
         _defaults.progress = progress
+    if telemetry is not _UNSET:
+        _defaults.telemetry = telemetry
     return _defaults
 
 
@@ -179,6 +206,7 @@ def run_sweep(
     retries: int = 0,
     retry_backoff_s: float = 0.25,
     on_error: Optional[str] = None,
+    telemetry: object = _UNSET,
 ) -> List[PointResult]:
     """Execute every point, returning results in input order.
 
@@ -208,6 +236,12 @@ def run_sweep(
             point cannot sink a long parallel sweep.  Defaults to
             ``"raise"`` on the serial backend and ``"capture"`` on the
             process backend.
+        telemetry: a :class:`repro.obs.manifest.SweepTelemetry` receiving
+            one structured span per point (queue wait, sim wall time,
+            worker pid, cache hit, attempts, config digest); defaults to
+            the configured telemetry, and ``None`` disables span
+            recording entirely (the engine then submits the plain untimed
+            runner -- the pre-telemetry code path, bit for bit).
 
     Cached results come back with ``from_cache=True`` and cost zero
     simulation cycles; everything else executes and is written back to
@@ -230,6 +264,7 @@ def run_sweep(
         raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
     resolved_cache = _resolve_cache(cache)
     heartbeat = _defaults.progress if progress is _UNSET else progress
+    spans = _defaults.telemetry if telemetry is _UNSET else telemetry
 
     started = time.perf_counter()
     done = 0
@@ -264,6 +299,15 @@ def run_sweep(
         hit = resolved_cache.get(point) if resolved_cache is not None else None
         if hit is not None:
             hit.from_cache = True
+            if spans is not None:
+                spans.record_point(
+                    point,
+                    queue_wait_s=0.0,
+                    sim_s=0.0,
+                    worker=os.getpid(),
+                    cache_hit=True,
+                    attempts=0,
+                )
             results[index] = hit
             _tick(point)
         else:
@@ -272,9 +316,18 @@ def run_sweep(
     if backend == "serial" or len(pending) <= 1:
         for index in pending:
             attempt = 0
+            info = None
+            error = None
+            submit_s = 0.0
             while True:
                 try:
-                    result = _execute_point_guarded(points[index], timeout)
+                    if spans is None:
+                        result = _execute_point_guarded(points[index], timeout)
+                    else:
+                        submit_s = time.perf_counter()
+                        result, info = _execute_point_timed(
+                            points[index], timeout
+                        )
                     break
                 except Exception as exc:
                     attempt += 1
@@ -283,10 +336,28 @@ def run_sweep(
                         continue
                     if on_error == "raise":
                         raise
-                    result = _failed_result(
-                        points[index], f"{type(exc).__name__}: {exc}"
-                    )
+                    error = f"{type(exc).__name__}: {exc}"
+                    result = _failed_result(points[index], error)
                     break
+            if spans is not None:
+                if info is not None:
+                    spans.record_point(
+                        points[index],
+                        queue_wait_s=info["start_s"] - submit_s,
+                        sim_s=info["sim_s"],
+                        worker=info["worker"],
+                        start_s=info["start_s"],
+                        attempts=attempt + 1,
+                    )
+                else:
+                    spans.record_point(
+                        points[index],
+                        queue_wait_s=0.0,
+                        sim_s=0.0,
+                        worker=os.getpid(),
+                        attempts=attempt,
+                        error=error,
+                    )
             _finish(index, result)
     elif pending:
         # Failures (worker exceptions, timeouts, even a worker process
@@ -295,16 +366,32 @@ def run_sweep(
         # cannot take the rest of the sweep down with it.
         remaining = pending
         round_no = 0
+        attempts_so_far: Dict[int, int] = {}
         while remaining:
             errors: Dict[int, str] = {}
             failed: List[int] = []
             workers = min(jobs, len(remaining))
             pool = ProcessPoolExecutor(max_workers=workers)
             try:
-                futures = {
-                    pool.submit(_execute_point_guarded, points[index], timeout): index
-                    for index in remaining
-                }
+                if spans is None:
+                    futures = {
+                        pool.submit(_execute_point_guarded, points[index], timeout): index
+                        for index in remaining
+                    }
+                    submit_times = None
+                else:
+                    futures = {}
+                    submit_times = {}
+                    for index in remaining:
+                        attempts_so_far[index] = (
+                            attempts_so_far.get(index, 0) + 1
+                        )
+                        submit_times[index] = time.perf_counter()
+                        futures[
+                            pool.submit(
+                                _execute_point_timed, points[index], timeout
+                            )
+                        ] = index
                 for future in as_completed(futures):
                     index = futures[future]
                     try:
@@ -317,6 +404,18 @@ def run_sweep(
                         failed.append(index)
                         errors[index] = f"{type(exc).__name__}: {exc}"
                         continue
+                    if spans is not None:
+                        result, info = result
+                        spans.record_point(
+                            points[index],
+                            queue_wait_s=(
+                                info["start_s"] - submit_times[index]
+                            ),
+                            sim_s=info["sim_s"],
+                            worker=info["worker"],
+                            start_s=info["start_s"],
+                            attempts=attempts_so_far[index],
+                        )
                     _finish(index, result)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -335,6 +434,15 @@ def run_sweep(
                     f"{round_no} attempt(s): {errors[first]}"
                 )
             for index in failed:
+                if spans is not None:
+                    spans.record_point(
+                        points[index],
+                        queue_wait_s=0.0,
+                        sim_s=0.0,
+                        worker=os.getpid(),
+                        attempts=attempts_so_far.get(index, round_no),
+                        error=errors[index],
+                    )
                 _finish(index, _failed_result(points[index], errors[index]))
             break
     return results  # type: ignore[return-value]

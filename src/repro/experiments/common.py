@@ -33,6 +33,7 @@ def run_layout_synthetic(
     observe_window: Optional[int] = None,
     trace: bool = False,
     profile: bool = False,
+    metrics: bool = False,
     progress: Optional[Callable] = None,
     **overrides,
 ) -> Dict[str, object]:
@@ -41,9 +42,11 @@ def run_layout_synthetic(
     Observability (``repro.obs``) rides along on demand: ``observe_window``
     enables windowed time-series sampling at that width, ``trace`` records
     hop-by-hop traces of measured packets, ``profile`` collects step-phase
-    wall-clock timings and ``progress`` receives ETA heartbeats.  The
-    attached :class:`~repro.obs.Observation` bundle (finalized) is returned
-    under the ``"observation"`` key (``None`` when disabled).
+    wall-clock timings, ``metrics`` attaches the kernel metrics registry
+    (per-link/per-pair counters feeding bottleneck attribution) and
+    ``progress`` receives ETA heartbeats.  The attached
+    :class:`~repro.obs.Observation` bundle (finalized) is returned under
+    the ``"observation"`` key (``None`` when disabled).
     """
     layout = layout_by_name(layout_name)
     network = build_network(layout, flit_mode=flit_mode)
@@ -51,12 +54,13 @@ def run_layout_synthetic(
     scale = measurement_scale(fast)
     scale.update(overrides)
     observation: Optional[Observation] = None
-    if observe_window is not None or trace or profile:
+    if observe_window is not None or trace or profile or metrics:
         observation = observe(
             network,
             sample_window=observe_window if observe_window is not None else 100,
             trace=trace,
             profile=profile,
+            metrics=metrics,
         )
     result = run_synthetic(
         network,

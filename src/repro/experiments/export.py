@@ -110,11 +110,15 @@ def export_observation(
     Writes whatever the bundle collected: ``<name>_timeseries.csv`` /
     ``<name>_buffer_series.csv`` / ``<name>_link_series.csv`` for the
     sampler, ``<name>_trace.jsonl`` + ``<name>_trace_chrome.json`` for the
-    tracer and ``<name>_profile.json`` for the profiler.  Returns the list
-    of paths written.
+    tracer, ``<name>_profile.json`` for the profiler, and
+    ``<name>_metrics.json`` + ``<name>_attribution{.json,_links.csv,
+    _pairs.csv}`` for the kernel metrics.  Returns the list of paths
+    written.
     """
     from repro.obs.exporters import (
+        write_attribution,
         write_chrome_trace,
+        write_metrics_json,
         write_profile_json,
         write_sampler_csv,
         write_trace_jsonl,
@@ -136,4 +140,10 @@ def export_observation(
         written.append(
             write_profile_json(profiler, directory / f"{name}_profile.json")
         )
+    metrics = getattr(observation, "metrics", None)
+    if metrics is not None and metrics.cycles:
+        written.append(
+            write_metrics_json(metrics, directory / f"{name}_metrics.json")
+        )
+        written.extend(write_attribution(metrics, directory, prefix=name))
     return written

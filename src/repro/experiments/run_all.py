@@ -91,13 +91,31 @@ def _export_observability(directory: str, fast: bool) -> None:
     """Run one instrumented Figure-1-style run and export its artifacts.
 
     Demonstrates the full observability stack end to end: time-series
-    sampling, packet tracing, step-phase profiling and the CSV/JSON/JSONL
-    exporters -- the quickest way to get a trace file for
+    sampling, packet tracing, step-phase profiling, kernel metrics with
+    bottleneck attribution (ASCII heatmap printed below), engine span
+    telemetry for a tiny sweep, a search-trace sample and a run manifest
+    -- the quickest way to get trace/span files for
     ``python -m repro.obs.replay``.
     """
-    from repro.experiments.common import run_layout_synthetic
-    from repro.experiments.export import export_observation
+    import json
+    import pathlib
 
+    from repro.exec import run_sweep, sweep_points
+    from repro.experiments.common import measurement_scale, run_layout_synthetic
+    from repro.experiments.export import export_observation
+    from repro.obs.attribution import attribute_metrics
+    from repro.obs.heatmap import render_report
+    from repro.obs.manifest import (
+        RunManifest,
+        SearchTrace,
+        SweepTelemetry,
+        merge_chrome_events,
+        write_spans_jsonl,
+    )
+    from repro.search.objectives import PlacementEvaluator
+    from repro.search.optimize import simulated_annealing
+
+    directory = pathlib.Path(directory)
     data = run_layout_synthetic(
         "baseline",
         "uniform_random",
@@ -106,12 +124,61 @@ def _export_observability(directory: str, fast: bool) -> None:
         observe_window=100,
         trace=True,
         profile=True,
+        metrics=True,
     )
     observation = data["observation"]
+    # Drain in-flight background packets so the link-flit conservation
+    # check (injected == delivered x hops) in the attribution holds.
+    data["network"].drain(max_cycles=400_000)
     for path in export_observation("obs_demo", observation, directory):
         print(f"  wrote {path}")
+    print(render_report(attribute_metrics(observation.metrics), top_k=5))
     if observation.profiler is not None:
         print(observation.profiler.format_report())
+
+    # Tiny instrumented sweep: engine spans + a merged Chrome trace.
+    scale = measurement_scale(fast=True)
+    points = sweep_points(
+        ["baseline", "center+BL"], "uniform_random", [0.02, 0.05], **scale
+    )
+    telemetry = SweepTelemetry()
+    run_sweep(points, telemetry=telemetry)
+
+    # Search telemetry sample (trace hooks never touch the RNG, so the
+    # traced trajectory matches an untraced run exactly).
+    trace = SearchTrace(every=50)
+    simulated_annealing(
+        PlacementEvaluator(4), num_big=4, steps=200, restarts=1,
+        polish_top=1, telemetry=trace,
+    )
+    spans_path = directory / "obs_demo_spans.jsonl"
+    write_spans_jsonl(spans_path, telemetry.spans + trace.records)
+    print(f"  wrote {spans_path}")
+
+    merged = merge_chrome_events(
+        observation.tracer.chrome_trace_events() if observation.tracer else [],
+        telemetry.chrome_trace_events(),
+    )
+    chrome_path = directory / "obs_demo_chrome_merged.json"
+    with chrome_path.open("w") as handle:
+        json.dump(
+            {"traceEvents": merged, "otherData": {"time_unit": "mixed"}},
+            handle,
+        )
+    print(f"  wrote {chrome_path}")
+
+    manifest = RunManifest.collect(
+        "obs_demo",
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        config={"layout": "baseline", "pattern": "uniform_random",
+                "rate": 0.05, "fast": fast},
+        points=points,
+        telemetry=telemetry,
+        argv=sys.argv,
+    )
+    manifest_path = directory / "obs_demo_manifest.json"
+    manifest.write_json(manifest_path)
+    print(f"  wrote {manifest_path}")
 
 
 def _pop_flag_with_value(argv: list, flag: str):

@@ -11,10 +11,19 @@ Usage::
     PYTHONPATH=src python -m repro.noc.bench --out BENCH_kernel.json
     PYTHONPATH=src python -m repro.noc.bench --kernel event --repeat 1
     PYTHONPATH=src python -m repro.noc.bench --check BENCH_kernel.json
+    PYTHONPATH=src python -m repro.noc.bench --kernel event --only empty-4x4
 
 ``--check`` is the CI perf-smoke mode: it times a small subset of the
 matrix and fails (exit 1) if any point runs more than ``--tolerance``
 times slower than the committed baseline's event-kernel figure.
+
+Every full (non ``--check``) run also *appends* a timestamped entry to
+``BENCH_history.jsonl`` (``--history`` to relocate, ``--no-history`` to
+skip, ``--timestamp`` to inject a reproducible stamp), so the perf
+trajectory accumulates across commits instead of each run overwriting
+the last; and when the ``--baseline`` report (default
+``BENCH_kernel.json``) exists, cases that regressed past ``--tolerance``
+are flagged on stdout.
 
 The committed ``BENCH_kernel.json`` additionally embeds a
 ``seed_baseline`` section: the same matrix measured at the commit *before*
@@ -26,9 +35,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 # Per-case FAST scale: enough traffic for a stable timing signal while the
 # full matrix stays under a couple of minutes.
@@ -196,6 +206,53 @@ def build_report(
     return report
 
 
+def history_entry(
+    report: Dict, timestamp: str, git_sha: Optional[str] = None
+) -> Dict:
+    """One ``BENCH_history.jsonl`` line: the trajectory-tracking digest.
+
+    ``timestamp`` is injected by the caller (an ISO-8601 string) so tests
+    and reproducible drivers control it.
+    """
+    event = report.get("event", {})
+    return {
+        "timestamp": timestamp,
+        "git_sha": git_sha,
+        "repeat": report.get("meta", {}).get("repeat"),
+        "event": {
+            name: stats["cycles_per_s"] for name, stats in event.items()
+        },
+        "groups": {
+            group: summary.get("wall_s")
+            for group, summary in report.get("groups", {}).items()
+        },
+    }
+
+
+def append_history(entry: Dict, path: str) -> None:
+    """Append one JSON line; creates the file on first use."""
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def flag_regressions(
+    current_event: Dict[str, Dict],
+    baseline_event: Dict[str, Dict],
+    tolerance: float = 1.5,
+) -> List[str]:
+    """Names of cases slower than ``tolerance`` x the baseline rate."""
+    flagged = []
+    for name, stats in current_event.items():
+        base = baseline_event.get(name)
+        if not base:
+            continue
+        base_rate = base.get("cycles_per_s", 0)
+        cur_rate = stats.get("cycles_per_s", 0)
+        if base_rate and (not cur_rate or base_rate / cur_rate > tolerance):
+            flagged.append(name)
+    return flagged
+
+
 def run_check(baseline_path: str, tolerance: float, repeat: int) -> int:
     """CI perf-smoke: fail when the kernel regresses past ``tolerance``."""
     with open(baseline_path) as fh:
@@ -251,7 +308,30 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--tolerance", type=float, default=1.5,
-        help="--check failure threshold (default 1.5x slower)",
+        help="--check / regression-flag threshold (default 1.5x slower)",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="CASE",
+        help="run only this case (repeatable); see CASES for names",
+    )
+    parser.add_argument(
+        "--history", default="BENCH_history.jsonl",
+        help="JSONL file to append the run's trajectory entry to "
+             "(default BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending to the history file",
+    )
+    parser.add_argument(
+        "--timestamp", default=None,
+        help="ISO-8601 stamp recorded in the history entry "
+             "(default: current UTC time)",
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_kernel.json",
+        help="committed report to flag regressions against "
+             "(default BENCH_kernel.json; skipped when absent)",
     )
     args = parser.parse_args(argv)
 
@@ -259,11 +339,11 @@ def main(argv: Optional[list] = None) -> int:
         return run_check(args.check, args.tolerance, max(1, args.repeat))
 
     print("benchmarking event-driven kernel:")
-    event = run_suite(repeat=args.repeat, naive=False)
+    event = run_suite(repeat=args.repeat, naive=False, only=args.only)
     naive = None
     if args.kernel in ("naive", "both"):
         print("benchmarking naive full-scan kernel:")
-        naive = run_suite(repeat=args.repeat, naive=True)
+        naive = run_suite(repeat=args.repeat, naive=True, only=args.only)
 
     seed_baseline = None
     if args.seed_baseline:
@@ -283,6 +363,31 @@ def main(argv: Optional[list] = None) -> int:
             f"{fig07['baseline_wall_s']:.3f}s = "
             f"{fig07['speedup_vs_baseline']:.2f}x"
         )
+    # Regression flags against the committed baseline (read before --out
+    # can overwrite it).
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            baseline_event = json.load(fh).get("event", {})
+        flagged = flag_regressions(event, baseline_event, args.tolerance)
+        if flagged:
+            print(
+                f"REGRESSION vs {args.baseline} "
+                f"(> {args.tolerance:.2f}x slower): {', '.join(flagged)}"
+            )
+        else:
+            print(f"no regressions vs {args.baseline}")
+
+    if not args.no_history and args.history:
+        from repro.obs.manifest import git_sha
+
+        timestamp = args.timestamp or time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        append_history(
+            history_entry(report, timestamp, git_sha()), args.history
+        )
+        print(f"appended history entry to {args.history}")
+
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -341,6 +341,8 @@ class Router:
                 eligible.append(vc)
             elif out_credits[out_port][out_vc] > 0:
                 eligible.append(vc)
+            else:
+                self.activity.credit_stalls += 1
         return eligible
 
     def _eligible_vcs_faulty(self, port: int, cycle: int) -> List[int]:
@@ -368,6 +370,8 @@ class Router:
                 eligible.append(vc)
             elif self.out_credits[out_port][state.out_vc] > 0:
                 eligible.append(vc)
+            else:
+                self.activity.credit_stalls += 1
         return eligible
 
     def _output_lanes(self, port: int) -> int:
@@ -425,6 +429,8 @@ class Router:
                         eligible.append(vc)
                     elif out_credits[out_port][out_vc] > 0:
                         eligible.append(vc)
+                    else:
+                        activity.credit_stalls += 1
             if not eligible:
                 continue
             eligible_by_port[port] = eligible
@@ -438,6 +444,7 @@ class Router:
                 arbiter._next = nxt if nxt < arbiter.num_requesters else 0
             else:
                 bid = allocator.pick_input_vc(port, eligible)
+                activity.arbitration_conflicts += len(eligible) - 1
             activity.arbitrations += 1
             bids[port] = bid
             # Group bids by requested output port (same insertion order as
@@ -465,6 +472,7 @@ class Router:
                 arbiter._next = nxt if nxt < arbiter.num_requesters else 0
             else:
                 winner_port = allocator.pick_output_winner(out_port, ports)
+                activity.arbitration_conflicts += len(ports) - 1
             activity.arbitrations += 1
             if winner_port is None:
                 continue

@@ -58,6 +58,13 @@ class RouterActivity:
     route_computations: int = 0
     vc_allocations: int = 0
     merged_flit_pairs: int = 0
+    # SA-eligible head flits that could not bid because their allocated
+    # downstream VC had zero credits (back-pressure stalls).
+    credit_stalls: int = 0
+    # Losing requesters across both SA stages: each multi-bidder
+    # arbitration charges (bidders - 1) conflicts, so the counter is the
+    # number of flit-cycles lost to switch contention.
+    arbitration_conflicts: int = 0
     # Sum over sampled cycles of (occupied flit slots); divide by
     # (cycles * capacity) for average buffer utilization.
     occupancy_integral: int = 0
@@ -71,6 +78,8 @@ class RouterActivity:
         "route_computations",
         "vc_allocations",
         "merged_flit_pairs",
+        "credit_stalls",
+        "arbitration_conflicts",
         "occupancy_integral",
     )
 

@@ -10,10 +10,18 @@ The package instruments the simulator through lightweight hook points (see
   latency / throughput series (Figure 1 heat maps as timelines);
 * :class:`~repro.obs.tracer.PacketTracer` -- hop-by-hop packet traces with
   JSONL and Chrome ``trace_event`` export;
+* :class:`~repro.obs.metrics.KernelMetrics` -- counter/gauge/histogram
+  registry over kernel events (per-link/per-VC flit counts, per-pair
+  traffic matrices, occupancy and active-set samples);
+* :mod:`repro.obs.attribution` / ``python -m repro.obs.heatmap`` --
+  bottleneck attribution: ranked contended links/routers/pairs and ASCII
+  utilization heatmaps;
+* :mod:`repro.obs.manifest` -- engine-side provenance: per-sweep-point
+  spans, search telemetry, and run manifests;
 * :class:`~repro.obs.profiler.RunProfiler` -- wall-clock phase profiling
   plus :class:`~repro.obs.profiler.Progress` / ETA callbacks;
 * :mod:`repro.obs.exporters` -- CSV/JSON writers;
-* ``python -m repro.obs.replay trace.jsonl`` -- trace-file summaries.
+* ``python -m repro.obs.replay trace.jsonl`` -- trace/span summaries.
 
 Typical use::
 
@@ -32,6 +40,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.obs.hooks import CompositeObserver, EventLog, Observer
+from repro.obs.metrics import KernelMetrics, MetricsRegistry
 from repro.obs.profiler import (
     Progress,
     RunProfiler,
@@ -47,6 +56,8 @@ __all__ = [
     "TimeSeriesSampler",
     "WindowSample",
     "PacketTracer",
+    "KernelMetrics",
+    "MetricsRegistry",
     "RunProfiler",
     "Progress",
     "make_progress_printer",
@@ -64,6 +75,7 @@ class Observation:
     sampler: Optional[TimeSeriesSampler] = None
     tracer: Optional[PacketTracer] = None
     profiler: Optional[RunProfiler] = None
+    metrics: Optional[KernelMetrics] = None
 
     def finalize(self) -> "Observation":
         """Flush partial sampler windows and stop the profiler."""
@@ -88,6 +100,8 @@ def observe(
     trace_max_packets: Optional[int] = None,
     profile: bool = False,
     only_measured: bool = True,
+    metrics: bool = False,
+    metrics_sample_every: int = 32,
 ) -> Observation:
     """Attach a ready-made observer stack to ``network``.
 
@@ -103,6 +117,11 @@ def observe(
             ``profiler=`` so run phases and total wall time are recorded).
         only_measured: restrict sampling to the measurement window so the
             series aggregate exactly to ``NetworkStats`` utilization.
+        metrics: attach a :class:`~repro.obs.metrics.KernelMetrics`
+            (whole-run counters: per-link/per-VC flits, per-pair traffic,
+            occupancy and active-set samples).
+        metrics_sample_every: cycle stride for the metrics occupancy /
+            active-set samples.
     """
     composite = CompositeObserver()
     sampler = None
@@ -117,6 +136,12 @@ def observe(
             select=trace_select, max_packets=trace_max_packets
         )
         composite.add(tracer)
+    kernel_metrics = None
+    if metrics:
+        kernel_metrics = KernelMetrics(
+            network, sample_every=metrics_sample_every
+        )
+        composite.add(kernel_metrics)
     profiler = RunProfiler() if profile else None
     network.attach_observer(composite)
     if profiler is not None:
@@ -127,4 +152,5 @@ def observe(
         sampler=sampler,
         tracer=tracer,
         profiler=profiler,
+        metrics=kernel_metrics,
     )

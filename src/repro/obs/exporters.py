@@ -171,3 +171,36 @@ def write_profile_json(profiler: RunProfiler, path: PathLike) -> pathlib.Path:
     with path.open("w") as handle:
         json.dump(profiler.report(), handle)
     return path
+
+
+def write_metrics_json(metrics, path: PathLike) -> pathlib.Path:
+    """Kernel metrics snapshot (see :class:`repro.obs.metrics.KernelMetrics`)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    metrics.write_json(path)
+    return path
+
+
+def write_attribution(
+    metrics, directory: PathLike, prefix: str = "obs"
+) -> List[pathlib.Path]:
+    """Attribution report as JSON plus per-link / per-pair CSV tables."""
+    from repro.obs.attribution import attribute_metrics
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    report = attribute_metrics(metrics)
+    json_path = directory / f"{prefix}_attribution.json"
+    links_path = directory / f"{prefix}_attribution_links.csv"
+    pairs_path = directory / f"{prefix}_attribution_pairs.csv"
+    report.write_json(json_path)
+    report.write_csv(links_path, pairs_path)
+    return [json_path, links_path, pairs_path]
+
+
+def write_spans_jsonl(telemetry, path: PathLike) -> pathlib.Path:
+    """Engine spans as JSONL (see :class:`repro.obs.manifest.SweepTelemetry`)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    telemetry.write_jsonl(path)
+    return path

@@ -1,14 +1,25 @@
-"""Summarize (and convert) packet trace files.
+"""Summarize (and convert) packet trace and engine span files.
 
 Usage::
 
     python -m repro.obs.replay trace.jsonl              # print a summary
     python -m repro.obs.replay trace.jsonl --chrome out.json
     python -m repro.obs.replay trace.jsonl --packet 42  # one packet's hops
+    python -m repro.obs.replay spans.jsonl              # engine spans
 
-A trace file is JSONL as written by
-:meth:`repro.obs.tracer.PacketTracer.write_jsonl`: one event object per
-line, each carrying at least ``type``, ``cycle`` and ``packet_id``.
+Two record families share the JSONL format:
+
+* packet trace events written by
+  :meth:`repro.obs.tracer.PacketTracer.write_jsonl` -- one event object
+  per line, each carrying at least ``type``, ``cycle`` and ``packet_id``;
+* engine records (``"type": "span"``) written by
+  :class:`repro.obs.manifest.SweepTelemetry` /
+  :class:`~repro.obs.manifest.SearchTrace` -- per-sweep-point wall-clock
+  spans and per-step search telemetry.
+
+A file may mix both; the summary reports each family separately and
+``--chrome`` renders packet events as B/E pairs and sweep spans as
+complete ("X") events on per-worker tracks.
 """
 
 from __future__ import annotations
@@ -33,6 +44,102 @@ def load_events(path) -> List[dict]:
                 raise ValueError(
                     f"{path}:{line_no}: not valid JSON ({exc})"
                 ) from None
+    return events
+
+
+def split_records(events: List[dict]):
+    """Partition mixed JSONL records into (trace_events, span_records)."""
+    trace = [e for e in events if e.get("type") != "span"]
+    spans = [e for e in events if e.get("type") == "span"]
+    return trace, spans
+
+
+def summarize_spans(spans: List[dict]) -> Dict[str, object]:
+    """Aggregate engine span records into headline numbers."""
+    sweep = [s for s in spans if s.get("kind") == "sweep_point"]
+    search = [s for s in spans if s.get("kind", "").startswith("search")]
+    other = len(spans) - len(sweep) - len(search)
+    summary: Dict[str, object] = {
+        "spans": len(spans),
+        "sweep_points": len(sweep),
+        "search_records": len(search),
+        "other_spans": other,
+    }
+    if sweep:
+        sims = [s.get("sim_s", 0.0) for s in sweep]
+        waits = [s.get("queue_wait_s", 0.0) for s in sweep]
+        slowest = max(sweep, key=lambda s: s.get("sim_s", 0.0))
+        summary.update({
+            "cache_hits": sum(1 for s in sweep if s.get("cache_hit")),
+            "errors": sum(1 for s in sweep if s.get("error")),
+            "retried_points": sum(
+                1 for s in sweep if s.get("attempts", 1) > 1
+            ),
+            "total_sim_s": sum(sims),
+            "total_queue_wait_s": sum(waits),
+            "workers": sorted({
+                s.get("worker") for s in sweep if s.get("worker") is not None
+            }),
+            "slowest_point": (slowest.get("name"), slowest.get("sim_s")),
+        })
+    if search:
+        bests = [s["best"] for s in search if "best" in s]
+        summary["search_best"] = max(bests) if bests else None
+    return summary
+
+
+def format_span_summary(summary: Dict[str, object]) -> str:
+    """Render :func:`summarize_spans` output as printable text."""
+    lines = [
+        f"spans            {summary['spans']} "
+        f"({summary['sweep_points']} sweep points, "
+        f"{summary['search_records']} search records)",
+    ]
+    if summary.get("sweep_points"):
+        lines.append(
+            f"sweep wall time  sim {summary['total_sim_s']:.3f}s, "
+            f"queue wait {summary['total_queue_wait_s']:.3f}s"
+        )
+        lines.append(
+            f"cache/retry/err  {summary['cache_hits']} hits, "
+            f"{summary['retried_points']} retried, "
+            f"{summary['errors']} errors"
+        )
+        workers = ", ".join(str(w) for w in summary["workers"])
+        lines.append(f"workers          {workers}")
+        name, sim_s = summary["slowest_point"]
+        lines.append(f"slowest point    {name} ({sim_s:.3f}s)")
+    if summary.get("search_best") is not None:
+        lines.append(f"search best      {summary['search_best']:.6f}")
+    return "\n".join(lines)
+
+
+def spans_to_chrome(spans: List[dict]) -> List[dict]:
+    """Sweep spans as Chrome complete ("X") events (per-worker tracks)."""
+    sweep = [s for s in spans if s.get("kind") == "sweep_point"]
+    starts = [
+        s["start_s"] for s in sweep if s.get("start_s") is not None
+    ]
+    origin = min(starts) if starts else 0.0
+    events = []
+    for span in sweep:
+        start = span.get("start_s")
+        ts = 0.0 if start is None else (start - origin) * 1e6
+        events.append({
+            "name": span.get("name", "?"),
+            "cat": "sweep",
+            "ph": "X",
+            "ts": ts,
+            "dur": span.get("sim_s", 0.0) * 1e6,
+            "pid": "sweep",
+            "tid": f"worker-{span.get('worker', '?')}",
+            "args": {
+                "queue_wait_s": span.get("queue_wait_s"),
+                "cache_hit": span.get("cache_hit"),
+                "attempts": span.get("attempts"),
+                "error": span.get("error"),
+            },
+        })
     return events
 
 
@@ -207,18 +314,28 @@ def main(argv: List[str]) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    trace_events, spans = split_records(events)
     if packet_id is not None:
-        listing = format_packet(events, packet_id)
+        listing = format_packet(trace_events, packet_id)
         print(listing)
         if listing.endswith("not in trace"):
             return 1
     else:
-        print(format_summary(summarize(events)))
+        if trace_events:
+            print(format_summary(summarize(trace_events)))
+        if spans:
+            if trace_events:
+                print()
+            print(format_span_summary(summarize_spans(spans)))
+        if not trace_events and not spans:
+            print("empty trace")
     if chrome_out is not None:
         path = pathlib.Path(chrome_out)
         path.parent.mkdir(parents=True, exist_ok=True)
+        document = to_chrome(trace_events)
+        document["traceEvents"].extend(spans_to_chrome(spans))
         with path.open("w") as handle:
-            json.dump(to_chrome(events), handle)
+            json.dump(document, handle)
         print(f"wrote {path}")
     return 0
 

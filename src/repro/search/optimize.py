@@ -183,6 +183,7 @@ def simulated_annealing(
     t_final: float = 0.0005,
     top_k: int = 8,
     polish_top: int = 4,
+    telemetry=None,
 ) -> SearchResult:
     """Seeded simulated annealing over fixed-budget placements.
 
@@ -194,6 +195,11 @@ def simulated_annealing(
     entries then descend deterministically to their local optima (see
     :func:`_polish`); the returned archive is the best across all
     chains and polishes.
+
+    ``telemetry`` (a :class:`repro.obs.manifest.SearchTrace`) receives a
+    per-step ``(chain, step, temperature, current, best)`` record.  It is
+    strictly read-only with respect to the search: no RNG access, so a
+    traced run and an untraced run walk identical trajectories.
     """
     import random
 
@@ -231,6 +237,10 @@ def simulated_annealing(
                 current, current_score = candidate, cand_record.scalar
             best_so_far = max(best_so_far, cand_record.scalar)
             history.append(best_so_far)
+            if telemetry is not None:
+                telemetry.sa_step(
+                    _chain, _step, temperature, current_score, best_so_far
+                )
             temperature *= cooling
     for record in archive.take()[:polish_top]:
         polished = evaluator.evaluate(
@@ -270,6 +280,7 @@ def evolutionary_search(
     top_k: int = 8,
     polish_top: int = 2,
     initial: Optional[Sequence[Iterable[int]]] = None,
+    telemetry=None,
 ) -> SearchResult:
     """A small seeded (mu + lambda)-style evolutionary loop.
 
@@ -285,6 +296,11 @@ def evolutionary_search(
     pipeline: crossover between two near-optimal placements that agree
     on most seats repairs each other's defects -- coordinated multi-seat
     jumps that single-move walks essentially never make.
+
+    ``telemetry`` (a :class:`repro.obs.manifest.SearchTrace`) receives a
+    per-generation ``(generation, best, population_best)`` record; like
+    the annealer's it never touches the RNG, so the trajectory is
+    unchanged.
     """
     import random
 
@@ -351,6 +367,12 @@ def evolutionary_search(
                 child = _move(rng, child, num_routers, n)
             children.append(child)
         scored = [(remember(m), m) for m in children]
+        if telemetry is not None:
+            telemetry.generation(
+                _generation,
+                best_so_far,
+                max(record.scalar for record, _ in scored),
+            )
     for record in archive.take()[:polish_top]:
         polished = evaluator.evaluate(
             _polish(evaluator, frozenset(record.positions))

@@ -1,0 +1,134 @@
+"""Bench trajectory tracking: history entries and regression flags.
+
+``python -m repro.noc.bench`` appends one JSON line per run to
+``BENCH_history.jsonl`` (timestamp injected for reproducibility) and
+flags cases that regressed past the tolerance against the committed
+``BENCH_kernel.json``.  The unit tests pin the entry shape and the flag
+arithmetic; the integration test runs the real CLI on the cheapest case.
+"""
+
+import json
+
+import pytest
+
+from repro.noc.bench import (
+    append_history,
+    flag_regressions,
+    history_entry,
+    main,
+)
+
+REPORT = {
+    "meta": {"tool": "repro.noc.bench", "repeat": 2, "scale": {}},
+    "event": {
+        "empty-4x4": {"cycles": 30000, "wall_s": 0.3, "cycles_per_s": 100000.0},
+        "ur-4x4-r0.05": {"cycles": 5000, "wall_s": 0.5, "cycles_per_s": 10000.0},
+    },
+    "groups": {
+        "fig07_low": {"cases": [], "wall_s": 1.25},
+        "saturation": {"cases": [], "wall_s": 0.75},
+    },
+}
+
+
+class TestHistoryEntry:
+    def test_shape(self):
+        entry = history_entry(REPORT, "2026-08-08T00:00:00Z", "a" * 40)
+        assert entry == {
+            "timestamp": "2026-08-08T00:00:00Z",
+            "git_sha": "a" * 40,
+            "repeat": 2,
+            "event": {"empty-4x4": 100000.0, "ur-4x4-r0.05": 10000.0},
+            "groups": {"fig07_low": 1.25, "saturation": 0.75},
+        }
+
+    def test_missing_sha_is_none(self):
+        assert history_entry(REPORT, "t")["git_sha"] is None
+
+    def test_append_accumulates_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(history_entry(REPORT, "t1"), path)
+        append_history(history_entry(REPORT, "t2"), path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["timestamp"] for line in lines] == [
+            "t1", "t2",
+        ]
+
+
+class TestFlagRegressions:
+    BASE = {
+        "a": {"cycles_per_s": 1000.0},
+        "b": {"cycles_per_s": 1000.0},
+    }
+
+    def test_within_tolerance_passes(self):
+        current = {
+            "a": {"cycles_per_s": 800.0},   # 1.25x slower
+            "b": {"cycles_per_s": 1100.0},  # faster
+        }
+        assert flag_regressions(current, self.BASE, tolerance=1.5) == []
+
+    def test_slow_case_flagged(self):
+        current = {
+            "a": {"cycles_per_s": 500.0},   # 2x slower
+            "b": {"cycles_per_s": 1000.0},
+        }
+        assert flag_regressions(current, self.BASE, tolerance=1.5) == ["a"]
+
+    def test_zero_rate_counts_as_regression(self):
+        assert flag_regressions(
+            {"a": {"cycles_per_s": 0}}, self.BASE
+        ) == ["a"]
+
+    def test_unknown_cases_ignored(self):
+        assert flag_regressions(
+            {"new-case": {"cycles_per_s": 1.0}}, self.BASE
+        ) == []
+
+
+class TestCliIntegration:
+    @pytest.fixture()
+    def run(self, tmp_path, capsys):
+        def _run(*extra):
+            argv = [
+                "--kernel", "event", "--repeat", "1",
+                "--only", "empty-4x4",
+                "--history", str(tmp_path / "hist.jsonl"),
+                "--baseline", str(tmp_path / "absent.json"),
+                *extra,
+            ]
+            code = main(argv)
+            return code, capsys.readouterr().out, tmp_path / "hist.jsonl"
+        return _run
+
+    def test_appends_timestamped_entry(self, run):
+        code, out, history = run("--timestamp", "2026-08-08T00:00:00Z")
+        assert code == 0
+        assert "appended history entry" in out
+        entry = json.loads(history.read_text())
+        assert entry["timestamp"] == "2026-08-08T00:00:00Z"
+        assert entry["event"].keys() == {"empty-4x4"}
+        assert entry["event"]["empty-4x4"] > 0
+
+    def test_no_history_skips_the_file(self, run):
+        code, out, history = run("--no-history")
+        assert code == 0
+        assert not history.exists()
+        assert "appended history entry" not in out
+
+    def test_regression_flags_against_baseline(self, run, tmp_path):
+        fast = {"event": {"empty-4x4": {"cycles_per_s": 1e12}}}
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(fast))
+        code, out, _ = run("--no-history", "--baseline", str(baseline))
+        assert code == 0
+        assert "REGRESSION" in out and "empty-4x4" in out
+
+    def test_clean_run_reports_no_regressions(self, run, tmp_path):
+        slow = {"event": {"empty-4x4": {"cycles_per_s": 0.001}}}
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(slow))
+        code, out, _ = run("--no-history", "--baseline", str(baseline))
+        assert code == 0
+        assert "no regressions" in out

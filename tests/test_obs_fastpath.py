@@ -118,3 +118,67 @@ def test_tracing_does_not_perturb_the_simulation():
         return net.cycle, net.total_delivered, delivered
 
     assert run(True) == run(False)
+
+
+def _make_counting_metrics(net):
+    """A KernelMetrics whose every hook also counts its invocations."""
+    from repro.obs.metrics import KernelMetrics
+
+    metrics = KernelMetrics(net)
+    metrics.hook_calls = 0
+    for name in dir(KernelMetrics):
+        if name.startswith("on_"):
+            bound = getattr(metrics, name)
+
+            def counted(*args, _bound=bound, _m=metrics, **kwargs):
+                _m.hook_calls += 1
+                return _bound(*args, **kwargs)
+
+            setattr(metrics, name, counted)
+    return metrics
+
+
+def test_detached_metrics_make_zero_calls():
+    """Metrics "off" is the same null-object fast path: once detached,
+    the kernel performs zero metric calls and no instrument moves."""
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 3))
+    metrics = _make_counting_metrics(net)
+    net.attach_observer(metrics)
+    net.detach_observer()
+    assert net.obs is None and net._tracing is False
+    _drive(net)
+    assert metrics.hook_calls == 0
+    snap = metrics.snapshot()
+    assert snap["flits_injected"] == 0
+    assert snap["link_flits_total"] == 0
+    assert snap["link_flits"] == [] and snap["pair_flits"] == []
+
+
+def test_attached_metrics_see_the_event_stream():
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 3))
+    metrics = _make_counting_metrics(net)
+    net.attach_observer(metrics)
+    _drive(net)
+    assert metrics.hook_calls > 0
+    assert metrics.snapshot()["flits_injected"] > 0
+
+
+def test_metrics_do_not_perturb_the_simulation():
+    """A metrics-instrumented run and a bare run are byte-identical."""
+    from repro.obs.metrics import KernelMetrics
+
+    def run(instrumented):
+        reset_packet_ids()
+        net = build_network(layout_by_name("diagonal+BL", 3))
+        if instrumented:
+            net.attach_observer(KernelMetrics(net))
+        delivered = []
+        net.on_delivery = lambda packet, cycle: delivered.append(
+            (packet.packet_id, packet.src, packet.dst, cycle, packet.hops)
+        )
+        _drive(net, seed=13, cycles=200, rate=0.15)
+        return net.cycle, net.total_delivered, delivered
+
+    assert run(True) == run(False)
