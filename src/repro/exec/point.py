@@ -66,6 +66,13 @@ class SweepPoint:
     #: serialization entirely, so fault-free specs hash exactly as they
     #: did before the fault subsystem existed (golden-run stability).
     faults: Optional[object] = None
+    #: cycle-kernel override (``"event"``, ``"soa"`` or ``"naive"``);
+    #: ``None`` -- the default -- leaves the network's own selection
+    #: (config / ``REPRO_KERNEL``) in force and is omitted from the spec
+    #: serialization, so kernel-free specs hash exactly as before.  All
+    #: kernels are bit-identical, so the override changes wall-clock
+    #: only -- the golden suite pins this.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.topology not in _TOPOLOGIES:
@@ -106,6 +113,14 @@ class SweepPoint:
                 )
             # Canonical order so that equal placements hash equally.
             object.__setattr__(self, "big_positions", tuple(sorted(positions)))
+        if self.kernel is not None:
+            from repro.noc.config import NetworkConfig
+
+            if self.kernel not in NetworkConfig.KERNELS:
+                raise ValueError(
+                    f"kernel must be one of {NetworkConfig.KERNELS} or None, "
+                    f"got {self.kernel!r}"
+                )
         if self.faults is not None:
             from repro.faults.schedule import FaultSchedule
 
@@ -134,6 +149,8 @@ class SweepPoint:
             del spec["faults"]
         else:
             spec["faults"] = self.faults.to_dict()
+        if spec["kernel"] is None:
+            del spec["kernel"]
         return spec
 
     def key(self) -> str:
@@ -174,7 +191,7 @@ class SweepPoint:
             topo_cls = ConcentratedMesh if self.topology == "cmesh" else FlattenedButterfly
             topo = topo_cls(self.mesh_size, concentration=self.concentration)
             configs = {rid: RouterConfig() for rid in range(topo.num_routers)}
-            return Network(topo, configs)
+            return self._apply_kernel(Network(topo, configs))
 
         from repro.core.layouts import build_network, custom_layout, layout_by_name
 
@@ -191,9 +208,14 @@ class SweepPoint:
         overrides = {}
         if self.flit_merging is not None:
             overrides["flit_merging"] = self.flit_merging
-        return build_network(
+        return self._apply_kernel(build_network(
             layout, topology=topology, flit_mode=self.flit_mode, **overrides
-        )
+        ))
+
+    def _apply_kernel(self, network):
+        if self.kernel is not None:
+            network.use_kernel(self.kernel)
+        return network
 
     def build_injector(self, num_nodes: int):
         """The injection process, or ``None`` for the Bernoulli default."""

@@ -1,21 +1,27 @@
-"""Wall-clock benchmark CLI for the cycle kernel.
+"""Wall-clock benchmark CLI for the cycle kernels.
 
 Runs a fixed matrix of simulator workloads -- empty meshes, uniform-random
 sweeps at low/mid/saturation rates on 4x4 and 8x8, the fig07 operating
 points for both the baseline and the HeteroNoC diagonal layout, and one
-faulty point -- and reports cycles-per-second for the event-driven kernel
-and (optionally) the retained naive full-scan kernel.
+faulty point -- and reports cycles-per-second for the event-driven
+kernel, the structure-of-arrays batch kernel and (optionally) the
+retained naive full-scan kernel.
 
 Usage::
 
     PYTHONPATH=src python -m repro.noc.bench --out BENCH_kernel.json
     PYTHONPATH=src python -m repro.noc.bench --kernel event --repeat 1
     PYTHONPATH=src python -m repro.noc.bench --check BENCH_kernel.json
-    PYTHONPATH=src python -m repro.noc.bench --kernel event --only empty-4x4
+    PYTHONPATH=src python -m repro.noc.bench --kernel soa --only empty-4x4
 
 ``--check`` is the CI perf-smoke mode: it times a small subset of the
 matrix and fails (exit 1) if any point runs more than ``--tolerance``
-times slower than the committed baseline's event-kernel figure.
+times slower than the committed baseline's figure for the same kernel
+(``--kernel event`` by default; the soa-smoke job passes
+``--kernel soa``).
+
+``--only`` with a name not in the frozen matrix is an error (exit 2,
+naming the unknown case): a typo must not silently time nothing.
 
 Every full (non ``--check``) run also *appends* a timestamped entry to
 ``BENCH_history.jsonl`` (``--history`` to relocate, ``--no-history`` to
@@ -76,26 +82,35 @@ SATURATION_GROUP = ["ur-4x4-r0.30", "ur-8x8-r0.30"]
 CHECK_GROUP = ["empty-4x4", "ur-4x4-r0.05"]
 
 
-def _build(layout_name: str, mesh_size: int, naive: bool):
+def _build(layout_name: str, mesh_size: int, kernel: str = "event"):
     from repro.core.layouts import build_network, layout_by_name
     from repro.noc.flit import reset_packet_ids
 
     reset_packet_ids()
     network = build_network(layout_by_name(layout_name, mesh_size))
-    if naive:
-        network.naive_step = True
+    network.use_kernel(kernel)
     return network
 
 
 def run_case(
-    name: str, kind: str, params: Dict, naive: bool = False
+    name: str,
+    kind: str,
+    params: Dict,
+    naive: bool = False,
+    kernel: Optional[str] = None,
 ) -> Tuple[int, float]:
-    """Run one benchmark case; returns ``(simulated_cycles, wall_seconds)``."""
+    """Run one benchmark case; returns ``(simulated_cycles, wall_seconds)``.
+
+    ``kernel`` names the cycle kernel to time; the legacy ``naive`` flag
+    is shorthand for ``kernel="naive"``.
+    """
     from repro.traffic.patterns import pattern_by_name
     from repro.traffic.runner import run_synthetic
 
+    if kernel is None:
+        kernel = "naive" if naive else "event"
     if kind == "empty":
-        net = _build("baseline", params["mesh_size"], naive)
+        net = _build("baseline", params["mesh_size"], kernel)
         n = params["cycles"]
         t0 = time.perf_counter()
         net.run_cycles(n)
@@ -112,7 +127,7 @@ def run_case(
             ),
             seed=3,
         )
-    net = _build(params["layout"], params["mesh_size"], naive)
+    net = _build(params["layout"], params["mesh_size"], kernel)
     pattern = pattern_by_name("uniform_random", net.topology)
     t0 = time.perf_counter()
     result = run_synthetic(
@@ -123,18 +138,31 @@ def run_case(
 
 def run_suite(
     repeat: int = 3,
-    naive: bool = False,
+    kernel: str = "event",
     only: Optional[list] = None,
     quiet: bool = False,
 ) -> Dict[str, Dict]:
-    """Run the matrix (best-of-``repeat`` wall clock per case)."""
+    """Run the matrix (best-of-``repeat`` wall clock per case).
+
+    Raises :class:`ValueError` when ``only`` names a case that is not in
+    the frozen matrix -- a silent empty run would report nothing while
+    looking like success.
+    """
+    if only is not None:
+        known = {name for name, _, _ in CASES}
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown bench case(s): {', '.join(unknown)}; "
+                f"known cases: {', '.join(name for name, _, _ in CASES)}"
+            )
     out: Dict[str, Dict] = {}
     for name, kind, params in CASES:
         if only is not None and name not in only:
             continue
         best_wall, cycles = None, None
         for _ in range(repeat):
-            c, w = run_case(name, kind, params, naive=naive)
+            c, w = run_case(name, kind, params, kernel=kernel)
             if best_wall is None or w < best_wall:
                 best_wall, cycles = w, c
         out[name] = {
@@ -143,7 +171,6 @@ def run_suite(
             "cycles_per_s": round(cycles / best_wall, 1),
         }
         if not quiet:
-            kernel = "naive" if naive else "event"
             print(
                 f"  [{kernel}] {name}: {cycles} cycles, {best_wall:.3f}s, "
                 f"{cycles / best_wall:,.0f} cyc/s"
@@ -169,6 +196,7 @@ def build_report(
     naive: Optional[Dict[str, Dict]],
     seed_baseline: Optional[Dict[str, Dict]],
     repeat: int,
+    soa: Optional[Dict[str, Dict]] = None,
 ) -> Dict:
     report: Dict = {
         "meta": {
@@ -190,6 +218,13 @@ def build_report(
             for name in event
             if name in naive and event[name]["wall_s"] > 0
         }
+    if soa:
+        report["soa"] = soa
+        report["speedup_soa_vs_event"] = {
+            name: round(event[name]["wall_s"] / soa[name]["wall_s"], 3)
+            for name in event
+            if name in soa and soa[name]["wall_s"] > 0
+        }
     if seed_baseline:
         report["seed_baseline"] = seed_baseline
         report["speedup_vs_seed"] = {
@@ -203,6 +238,16 @@ def build_report(
         "fig07_low": _group_summary(FIG07_GROUP, event, seed_baseline),
         "saturation": _group_summary(SATURATION_GROUP, event, seed_baseline),
     }
+    if soa:
+        # The soa acceptance group: same cases, soa wall clock, with the
+        # current *event* figures as the comparison baseline.
+        report["groups"]["fig07_low_soa"] = _group_summary(
+            FIG07_GROUP, soa, event
+        )
+        summary = report["groups"]["fig07_low_soa"]
+        if "speedup_vs_baseline" in summary:
+            summary["speedup_vs_event"] = summary.pop("speedup_vs_baseline")
+            summary["event_wall_s"] = summary.pop("baseline_wall_s")
     return report
 
 
@@ -215,7 +260,7 @@ def history_entry(
     and reproducible drivers control it.
     """
     event = report.get("event", {})
-    return {
+    entry = {
         "timestamp": timestamp,
         "git_sha": git_sha,
         "repeat": report.get("meta", {}).get("repeat"),
@@ -227,6 +272,12 @@ def history_entry(
             for group, summary in report.get("groups", {}).items()
         },
     }
+    soa = report.get("soa")
+    if soa:
+        entry["soa"] = {
+            name: stats["cycles_per_s"] for name, stats in soa.items()
+        }
+    return entry
 
 
 def append_history(entry: Dict, path: str) -> None:
@@ -253,23 +304,28 @@ def flag_regressions(
     return flagged
 
 
-def run_check(baseline_path: str, tolerance: float, repeat: int) -> int:
-    """CI perf-smoke: fail when the kernel regresses past ``tolerance``."""
+def run_check(
+    baseline_path: str, tolerance: float, repeat: int, kernel: str = "event"
+) -> int:
+    """CI perf-smoke: fail when ``kernel`` regresses past ``tolerance``
+    against the committed baseline's figures for the same kernel."""
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    reference = baseline.get("event", {})
-    current = run_suite(repeat=repeat, only=CHECK_GROUP, quiet=True)
+    reference = baseline.get(kernel, {})
+    current = run_suite(
+        repeat=repeat, kernel=kernel, only=CHECK_GROUP, quiet=True
+    )
     failed = False
     for name in CHECK_GROUP:
         if name not in reference:
-            print(f"  {name}: no baseline entry, skipping")
+            print(f"  {name}: no {kernel} baseline entry, skipping")
             continue
         base_rate = reference[name]["cycles_per_s"]
         cur_rate = current[name]["cycles_per_s"]
         ratio = base_rate / cur_rate if cur_rate else float("inf")
         status = "OK" if ratio <= tolerance else "REGRESSION"
         print(
-            f"  {name}: {cur_rate:,.0f} cyc/s vs baseline "
+            f"  [{kernel}] {name}: {cur_rate:,.0f} cyc/s vs baseline "
             f"{base_rate:,.0f} cyc/s ({ratio:.2f}x slower, "
             f"tolerance {tolerance:.2f}x) {status}"
         )
@@ -295,8 +351,13 @@ def main(argv: Optional[list] = None) -> int:
         help="timing repetitions per case (best-of, default 3)",
     )
     parser.add_argument(
-        "--kernel", choices=("event", "naive", "both"), default="both",
-        help="which kernel(s) to time (default both)",
+        "--kernel",
+        choices=("event", "soa", "naive", "both", "all"),
+        default="all",
+        help="which kernel(s) to time: a single kernel, 'both' "
+             "(event + naive, the pre-soa matrix) or 'all' "
+             "(event + soa + naive, default); in --check mode a single "
+             "kernel name selects which baseline figures to compare",
     )
     parser.add_argument(
         "--seed-baseline", default=None,
@@ -336,14 +397,29 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.check:
-        return run_check(args.check, args.tolerance, max(1, args.repeat))
+        check_kernel = (
+            args.kernel if args.kernel in ("event", "soa", "naive") else "event"
+        )
+        return run_check(
+            args.check, args.tolerance, max(1, args.repeat), check_kernel
+        )
 
-    print("benchmarking event-driven kernel:")
-    event = run_suite(repeat=args.repeat, naive=False, only=args.only)
-    naive = None
-    if args.kernel in ("naive", "both"):
-        print("benchmarking naive full-scan kernel:")
-        naive = run_suite(repeat=args.repeat, naive=True, only=args.only)
+    try:
+        print("benchmarking event-driven kernel:")
+        event = run_suite(repeat=args.repeat, kernel="event", only=args.only)
+        soa = None
+        if args.kernel in ("soa", "all"):
+            print("benchmarking structure-of-arrays kernel:")
+            soa = run_suite(repeat=args.repeat, kernel="soa", only=args.only)
+        naive = None
+        if args.kernel in ("naive", "both", "all"):
+            print("benchmarking naive full-scan kernel:")
+            naive = run_suite(
+                repeat=args.repeat, kernel="naive", only=args.only
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     seed_baseline = None
     if args.seed_baseline:
@@ -355,13 +431,20 @@ def main(argv: Optional[list] = None) -> int:
         ):
             seed_baseline = seed_baseline["event"]
 
-    report = build_report(event, naive, seed_baseline, args.repeat)
+    report = build_report(event, naive, seed_baseline, args.repeat, soa=soa)
     fig07 = report["groups"]["fig07_low"]
     if "speedup_vs_baseline" in fig07:
         print(
             f"fig07 group: {fig07['wall_s']:.3f}s vs seed "
             f"{fig07['baseline_wall_s']:.3f}s = "
             f"{fig07['speedup_vs_baseline']:.2f}x"
+        )
+    fig07_soa = report["groups"].get("fig07_low_soa")
+    if fig07_soa and "speedup_vs_event" in fig07_soa:
+        print(
+            f"fig07 group (soa): {fig07_soa['wall_s']:.3f}s vs event "
+            f"{fig07_soa['event_wall_s']:.3f}s = "
+            f"{fig07_soa['speedup_vs_event']:.2f}x"
         )
     # Regression flags against the committed baseline (read before --out
     # can overwrite it).

@@ -204,7 +204,17 @@ class NetworkConfig:
         flit_merging: enable the Section 3.2/3.3 wide-link flit
             combining.  Disabling it is an ablation: wide links then move
             a single flit per cycle like narrow ones.
+        kernel: which cycle kernel drives :meth:`Network.step` --
+            ``"event"`` (the event-driven active-set kernel, default),
+            ``"soa"`` (the structure-of-arrays batch kernel, which falls
+            back to the event kernel whenever faults, observation hooks
+            or dynamic routing require the per-flit object datapath) or
+            ``"naive"`` (the retained full-scan reference stepper).  All
+            three are bit-identical; see ``repro.noc.soa``.  Overridable
+            per process with ``REPRO_KERNEL``.
     """
+
+    KERNELS = ("event", "soa", "naive")
 
     router_pipeline_stages: int = 2
     link_delay: int = 1
@@ -214,6 +224,7 @@ class NetworkConfig:
     escape_vc: Optional[int] = None
     source_queue_limit: Optional[int] = None
     flit_merging: bool = True
+    kernel: str = "event"
 
     def __post_init__(self) -> None:
         if self.router_pipeline_stages < 1:
@@ -224,6 +235,10 @@ class NetworkConfig:
             raise ValueError("credit_delay must be >= 0")
         if self.frequency_ghz <= 0:
             raise ValueError("frequency_ghz must be positive")
+        if self.kernel not in self.KERNELS:
+            raise ValueError(
+                f"kernel must be one of {self.KERNELS}, got {self.kernel!r}"
+            )
 
     @property
     def cycle_time_ns(self) -> float:

@@ -32,6 +32,16 @@ bit-identical to the naive all-routers walk.  That naive walk is retained
 as :meth:`Network._step_naive` (select it with ``REPRO_NAIVE_STEP=1`` or
 ``network.naive_step = True``) and serves as the differential-testing
 reference for the event kernel.
+
+A third kernel -- the structure-of-arrays batch kernel of
+:mod:`repro.noc.soa` -- is selected with ``NetworkConfig(kernel="soa")``,
+``REPRO_KERNEL=soa`` or ``network.use_kernel("soa")``.  It simulates the
+same microarchitecture over flat arrays and bitmasks, is bit-identical to
+both object-model kernels, and *falls back to the event kernel
+automatically* whenever faults, observation hooks, a watchdog, a profiler
+or a dynamic routing discipline require the per-flit object datapath; the
+fallback is re-evaluated every cycle, so attaching or detaching such a
+subsystem mid-run simply switches kernels at the next step.
 """
 
 from __future__ import annotations
@@ -142,8 +152,29 @@ class Network:
         #: path (the null-object fast path: a run without an observer makes
         #: zero hook calls and zero per-event attribute probes).
         self._tracing = False
+        # -- kernel selection --------------------------------------------
+        # REPRO_NAIVE_STEP=1 (the original switch) takes precedence, then
+        # REPRO_KERNEL, then the config field.
+        kernel = os.environ.get("REPRO_KERNEL") or self.config.kernel
+        if os.environ.get("REPRO_NAIVE_STEP") == "1":
+            kernel = "naive"
+        if kernel not in NetworkConfig.KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of "
+                f"{NetworkConfig.KERNELS}"
+            )
         #: whether the retained naive (full-scan) stepper is selected.
-        self._naive = os.environ.get("REPRO_NAIVE_STEP") == "1"
+        self._naive = kernel == "naive"
+        #: whether the structure-of-arrays batch kernel is requested;
+        #: eligibility is (re)checked every step so faults/obs/watchdog/
+        #: profiler attachment falls back to the event kernel.
+        self._soa_requested = kernel == "soa"
+        #: the live :class:`repro.noc.soa.SoaKernel`, or ``None`` when the
+        #: object-model kernels are driving.
+        self._soa = None
+        #: whether precomputed route tables *and* default-VA tables are
+        #: installed (the soa kernel's routing precondition).
+        self._route_tables_ok = False
 
         # -- prebuilt hot-path structures (hoisted out of the cycle loop) --
         # Per-channel lane map, built once from the wired links; both the
@@ -241,14 +272,17 @@ class Network:
         routers = getattr(self, "routers", None)
         if not routers:
             return
+        self._deactivate_soa()
         tables = None
         if not self._naive and self.faults is None:
             tables = self._routing.build_route_tables()
         if tables is None:
+            self._route_tables_ok = False
             for router in routers:
                 router.set_routing_tables(None, None)
             return
         default_va = self._routing.uses_default_va()
+        self._route_tables_ok = default_va
         for rid, router in enumerate(routers):
             va_table = None
             if default_va:
@@ -282,12 +316,78 @@ class Network:
 
     @naive_step.setter
     def naive_step(self, naive: bool) -> None:
-        self._naive = bool(naive)
-        self._install_routing_tables()
+        if naive:
+            self.use_kernel("naive")
+        elif self._naive:
+            self.use_kernel("event")
+
+    @property
+    def kernel(self) -> str:
+        """The selected cycle kernel: ``"event"``, ``"soa"`` or ``"naive"``.
+
+        Note this is the *requested* kernel; a requested ``"soa"`` still
+        steps through the event kernel whenever faults, observation
+        hooks, a watchdog, a profiler or dynamic routing are attached.
+        """
+        if self._naive:
+            return "naive"
+        if self._soa_requested:
+            return "soa"
+        return "event"
+
+    @kernel.setter
+    def kernel(self, name: str) -> None:
+        self.use_kernel(name)
+
+    def use_kernel(self, name: str) -> None:
+        """Switch the cycle kernel mid-run (bit-identical hand-off)."""
+        if name not in NetworkConfig.KERNELS:
+            raise ValueError(
+                f"unknown kernel {name!r}; expected one of "
+                f"{NetworkConfig.KERNELS}"
+            )
+        self._deactivate_soa()
+        was_naive = self._naive
+        self._naive = name == "naive"
+        self._soa_requested = name == "soa"
+        if was_naive != self._naive:
+            # naive <-> table-driven changes the routers' RC/VA tables.
+            self._install_routing_tables()
+
+    @property
+    def soa_active(self) -> bool:
+        """Whether the soa batch kernel is currently driving the cycle."""
+        return self._soa is not None
+
+    def _activate_soa(self):
+        from repro.noc.soa import SoaKernel
+
+        kernel = SoaKernel(self)
+        self._soa = kernel
+        return kernel
+
+    def _deactivate_soa(self) -> None:
+        kernel = getattr(self, "_soa", None)
+        if kernel is not None:
+            kernel.sync()
+            self._soa = None
+
+    def sync_kernel(self) -> None:
+        """Mirror batch-kernel state back into the Router objects.
+
+        No-op unless the soa kernel is live.  Callers that inspect router
+        internals mid-run (tests, diagnostics) should call this first;
+        the shared structures (flit queues, stats, activity counters,
+        event buckets, sources) are always current.
+        """
+        if self._soa is not None:
+            self._soa.sync()
 
     def wake_router(self, router_id: int) -> None:
         """Mark a router active (for callers that write flits directly)."""
         self._active_routers.add(router_id)
+        if self._soa is not None:
+            self._soa.actmask |= 1 << router_id
 
     def wake_source(self, node: int) -> None:
         """Mark a source node active (for callers that bypass enqueue)."""
@@ -296,6 +396,7 @@ class Network:
     def attach_observer(self, observer) -> None:
         """Attach observation hooks (an :class:`repro.obs.hooks.Observer`)
         to the network and all its routers."""
+        self._deactivate_soa()
         self.obs = observer
         self._tracing = observer is not None
         for router in self.routers:
@@ -330,6 +431,7 @@ class Network:
     def attach_watchdog(self, watchdog) -> None:
         """Attach a deadlock/livelock watchdog (read-only: cannot change
         simulation results)."""
+        self._deactivate_soa()
         self.watchdog = watchdog
 
     def detach_watchdog(self) -> None:
@@ -338,11 +440,15 @@ class Network:
     def begin_measurement(self) -> None:
         """Open the measurement window: snapshot event counters so that
         utilization and power cover exactly the window."""
+        if self._soa is not None:
+            self._soa.flush_activity()
         self._activity_snapshot = [r.activity.snapshot() for r in self.routers]
         self.measuring = True
 
     def end_measurement(self) -> None:
         """Close the window and freeze its activity deltas into the stats."""
+        if self._soa is not None:
+            self._soa.flush_activity()
         self.measuring = False
         snapshot = getattr(self, "_activity_snapshot", None)
         if snapshot is None:
@@ -363,6 +469,8 @@ class Network:
                 buffer_capacity_flits=router.activity.buffer_capacity_flits
             )
         self._stats.router_activity = [r.activity for r in self.routers]
+        if self._soa is not None:
+            self._soa.reload_activities()
 
     def make_packet(
         self,
@@ -423,11 +531,28 @@ class Network:
         full-scan reference (:meth:`_step_naive`).
         """
         if self.profiler is not None:
+            self._deactivate_soa()
             self._step_profiled()
             return
         if self._naive:
             self._step_naive()
             return
+        if self._soa_requested:
+            # Per-step eligibility: the batch kernel needs precomputed
+            # route/VA tables and steps aside for any subsystem that needs
+            # the per-flit object datapath (faults, obs, watchdog).
+            if (
+                self.faults is None
+                and self.obs is None
+                and self.watchdog is None
+                and self._route_tables_ok
+            ):
+                kernel = self._soa
+                if kernel is None:
+                    kernel = self._activate_soa()
+                kernel.step()
+                return
+            self._deactivate_soa()
         cycle = self.cycle
         if self.faults is not None:
             self.faults.tick(self, cycle)
@@ -894,6 +1019,7 @@ class Network:
         packet was therefore retired); a second purge of the same packet
         is a no-op.
         """
+        self._deactivate_soa()
         pid = packet.packet_id
         topo = self.topology
         found = False
@@ -1035,6 +1161,8 @@ class Network:
 
     # -- diagnostics ---------------------------------------------------------------
     def total_buffered_flits(self) -> int:
+        if self._soa is not None:
+            return self._soa.total_buffered_flits()
         return sum(router.occupied_flits for router in self.routers)
 
     def describe(self) -> str:

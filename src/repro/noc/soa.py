@@ -1,0 +1,823 @@
+"""Structure-of-arrays batch cycle kernel.
+
+The third (and fastest) cycle kernel, selected with
+``NetworkConfig(kernel="soa")`` or ``REPRO_KERNEL=soa``.  Where the
+event-driven kernel walks :class:`~repro.noc.router.Router` objects and
+their per-VC ``_VCState`` records, this kernel flattens the entire
+router microarchitecture into parallel arrays and bitmasks:
+
+* per-lane scalar state -- the head packet id, routed output port and
+  allocated downstream VC of every ``(router, port, vc)`` input lane --
+  lives in flat lists indexed by ``(router * P + port) * V + vc``;
+* per-port virtual-channel *bitmasks* (occupied lanes, allocated lanes,
+  credit-available downstream VCs) turn the switch-allocation
+  eligibility scan into a handful of integer operations, and round-robin
+  arbitration into a rotate-and-count-trailing-zeros;
+* the active-router and active-port sets are single integers walked in
+  ascending bit order, replacing the event kernel's per-cycle
+  ``sorted(set)``;
+* routing and VC-candidate lookups come from the precomputed tensors of
+  :meth:`repro.noc.routing.Routing.build_route_tables` (assembled here
+  with numpy and flattened for O(1) scalar access);
+* a per-lane *needs-VA* flag, maintained at every head-of-queue change,
+  lets the kernel skip the route-computation/VC-allocation walk for
+  routers whose lanes are all mid-wormhole -- the event kernel revisits
+  every active lane every cycle;
+* per-router micro-event counters accumulate in flat delta arrays and
+  flush into the shared :class:`~repro.noc.stats.RouterActivity`
+  objects on :meth:`sync`/:meth:`flush_activity` (measurement
+  boundaries flush automatically, so activity-derived results never
+  observe a stale counter).
+
+The flit queues themselves, the :class:`~repro.noc.flit.Flit` and
+:class:`~repro.noc.flit.Packet` objects, the source-queue states, the
+stats dictionaries and the event buckets are *shared* with the object
+model -- the kernel mutates them in place.  Packing therefore only
+snapshots scalar state out of the ``Router`` objects, and unpacking
+writes the identical values back, which is what makes mid-run kernel
+switches (and the per-cycle digests of the differential suite) exact.
+
+Bit-for-bit contract: every simulation observable -- flit movements,
+arbitration pointer evolution, credit counters, activity counters,
+latency records, delivered-packet order -- is identical to the
+event-driven and naive kernels.  ``tests/test_kernel_differential.py``
+enforces this over a randomized three-way matrix, and the golden-run
+suite pins byte-identical :class:`~repro.exec.point.PointResult`
+payloads across all three kernels.
+
+Fallback rules (handled by :meth:`Network.step` dispatch): the kernel
+requires the precomputed route/VA tables (pure-function routing
+disciplines such as X-Y and the flattened butterfly), and steps aside
+for the event kernel whenever faults, observation hooks, a watchdog or
+a profiler are attached -- those need per-flit callbacks or dynamic
+routing that the batch datapath deliberately omits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class SoaKernel:
+    """Flattened simulation state plus the batch step loop.
+
+    Built lazily by :class:`~repro.noc.network.Network` when the soa
+    kernel is requested and eligible; :meth:`sync` mirrors the flat
+    state back into the ``Router`` objects at any cycle boundary.
+    """
+
+    def __init__(self, net) -> None:
+        self.net = net
+        topo = net.topology
+        routers = net.routers
+        R = topo.num_routers
+        #: uniform strides: max ports / max VCs over the mesh (lanes for
+        #: ports or VCs a router does not have are simply never touched).
+        P = max(r.num_ports for r in routers)
+        V = max(r.config.num_vcs for r in routers)
+        self.R, self.P, self.V = R, P, V
+
+        # -- static per-router tensors ----------------------------------
+        self.nports = [r.num_ports for r in routers]
+        self.nvcs = [r.config.num_vcs for r in routers]
+        self.depth = [r.config.buffer_depth for r in routers]
+        self.ej_pmask = [0] * R  # bitmask of ejection (local) ports
+        self.ej_lanes = [r._local_lanes for r in routers]
+        for rid, r in enumerate(routers):
+            for port in range(r.num_ports):
+                if r.is_ejection[port]:
+                    self.ej_pmask[rid] |= 1 << port
+
+        # Routing tensor: route_tab[rid][dst] -> out port, assembled as
+        # one (R, num_nodes) numpy array then flattened to lists for
+        # scalar access on the cycle loop.
+        table = np.array(
+            [r._route_table for r in routers], dtype=np.int64
+        )
+        self.route_tab: List[List[int]] = table.tolist()
+
+        # -- per-(router, port) output-side tensors ---------------------
+        RP = R * P
+        self.ovc_cnt = [0] * RP   # downstream VC count (VA candidates)
+        self.ceil = [0] * RP      # credit ceiling (downstream depth)
+        self.slanes = [0] * RP    # static lane count of the output port
+        self.linkinfo: List[Optional[Tuple[int, int, int, int]]] = [None] * RP
+        self.upstream: List[Optional[Tuple[int, int]]] = [None] * RP
+        self.has_wide = [False] * R
+        merging = net._merging
+        for rid, r in enumerate(routers):
+            base = rid * P
+            for port in range(r.num_ports):
+                rp = base + port
+                self.ovc_cnt[rp] = r.out_vc_count[port]
+                self.ceil[rp] = r._credit_ceiling[port]
+                self.slanes[rp] = r._static_lanes[port]
+                link = r.out_links[port]
+                if link is not None:
+                    self.linkinfo[rp] = (
+                        link.dst_router, link.dst_port, link.delay, link.lanes
+                    )
+                    if merging and link.lanes >= 2:
+                        self.has_wide[rid] = True
+                self.upstream[rp] = net._upstream[rid][port]
+
+        # -- shared mutable structures (objects owned by the network) ---
+        #: flit queues, one per lane; the *same* deque objects as
+        #: ``router._vc_states[port][vc].queue`` so queue contents never
+        #: need packing or unpacking.
+        self.queues: List[Optional[object]] = [None] * (RP * V)
+        for rid, r in enumerate(routers):
+            for port in range(r.num_ports):
+                lane = (rid * P + port) * V
+                states = r._vc_states[port]
+                for vc in range(r.config.num_vcs):
+                    self.queues[lane + vc] = states[vc].queue
+        self.activities = [r.activity for r in routers]
+
+        # -- packed scalar state (filled by pack()) ---------------------
+        self.st_pid = [-1] * (RP * V)    # -1 == None
+        self.st_route = [-1] * (RP * V)  # -1 == None
+        self.st_outvc = [-2] * (RP * V)  # -2 == None, -1 == ejection
+        self.need = [0] * (RP * V)       # lane needs RC/VA processing
+        self.nva = [0] * R               # needy lanes per router
+        self.cred = [0] * (RP * V)
+        self.owner = [-1] * (RP * V)     # -1 == None
+        self.occ_mask = [0] * RP         # VCs with a non-empty queue
+        self.am = [0] * RP               # VCs with an allocated out VC
+        self.credok = [0] * RP           # downstream VCs with credits > 0
+        self.in_next = [0] * RP
+        self.out_next = [0] * RP
+        self.sec_next = [0] * RP
+        self.occupied = [0] * R
+        self.va_off = [0] * R
+        self.active_lanes: List[Dict[int, bool]] = [dict() for _ in range(R)]
+        self.actmask = 0
+
+        # -- activity counter deltas (flushed into RouterActivity) ------
+        self.a_bw = [0] * R   # buffer_writes
+        self.a_br = [0] * R   # buffer_reads
+        self.a_xb = [0] * R   # crossbar_traversals
+        self.a_rc = [0] * R   # route_computations
+        self.a_va = [0] * R   # vc_allocations
+        self.a_arb = [0] * R  # arbitrations
+        self.a_cf = [0] * R   # arbitration_conflicts
+        self.a_cs = [0] * R   # credit_stalls
+        self.a_mg = [0] * R   # merged_flit_pairs
+        self.a_oc = [0] * R   # occupancy_integral
+
+        # -- reusable per-cycle scratch (avoids hot-path allocation) ----
+        self._grants: List[tuple] = []
+        self._bid_vc = [-1] * P
+        self._bid_ports: List[int] = []
+        self._obid = [0] * P
+        self._out_order: List[int] = []
+        self._elig_mask = [0] * P
+
+        self.pack()
+
+    # -- state transfer ----------------------------------------------------
+    def reload_activities(self) -> None:
+        """Re-fetch the RouterActivity objects and drop pending deltas
+        (``reset_stats`` replaces the objects to zero the counters)."""
+        self.activities = [r.activity for r in self.net.routers]
+        for arr in (
+            self.a_bw, self.a_br, self.a_xb, self.a_rc, self.a_va,
+            self.a_arb, self.a_cf, self.a_cs, self.a_mg, self.a_oc,
+        ):
+            for i in range(self.R):
+                arr[i] = 0
+
+    def flush_activity(self) -> None:
+        """Add the accumulated counter deltas to the shared
+        RouterActivity objects and zero the delta arrays."""
+        a_bw, a_br, a_xb = self.a_bw, self.a_br, self.a_xb
+        a_rc, a_va, a_arb = self.a_rc, self.a_va, self.a_arb
+        a_cf, a_cs, a_mg, a_oc = self.a_cf, self.a_cs, self.a_mg, self.a_oc
+        for rid, act in enumerate(self.activities):
+            if a_bw[rid]:
+                act.buffer_writes += a_bw[rid]
+                a_bw[rid] = 0
+            if a_br[rid]:
+                act.buffer_reads += a_br[rid]
+                a_br[rid] = 0
+            if a_xb[rid]:
+                act.crossbar_traversals += a_xb[rid]
+                a_xb[rid] = 0
+            if a_rc[rid]:
+                act.route_computations += a_rc[rid]
+                a_rc[rid] = 0
+            if a_va[rid]:
+                act.vc_allocations += a_va[rid]
+                a_va[rid] = 0
+            if a_arb[rid]:
+                act.arbitrations += a_arb[rid]
+                a_arb[rid] = 0
+            if a_cf[rid]:
+                act.arbitration_conflicts += a_cf[rid]
+                a_cf[rid] = 0
+            if a_cs[rid]:
+                act.credit_stalls += a_cs[rid]
+                a_cs[rid] = 0
+            if a_mg[rid]:
+                act.merged_flit_pairs += a_mg[rid]
+                a_mg[rid] = 0
+            if a_oc[rid]:
+                act.occupancy_integral += a_oc[rid]
+                a_oc[rid] = 0
+
+    def pack(self) -> None:
+        """Snapshot scalar state out of the Router objects."""
+        net = self.net
+        P, V = self.P, self.V
+        st_pid, st_route, st_outvc = self.st_pid, self.st_route, self.st_outvc
+        need, nva = self.need, self.nva
+        cred, owner = self.cred, self.owner
+        occ_mask, am, credok = self.occ_mask, self.am, self.credok
+        for rid, r in enumerate(net.routers):
+            base = rid * P
+            self.occupied[rid] = r.occupied_flits
+            self.va_off[rid] = r._va_offset
+            nva[rid] = 0
+            allocator = r.allocator
+            for port in range(r.num_ports):
+                rp = base + port
+                self.in_next[rp] = allocator.input_stage[port]._next
+                self.out_next[rp] = allocator.output_stage[port]._next
+                self.sec_next[rp] = allocator.second_output_stage[port]._next
+                om = a = ck = 0
+                lane = rp * V
+                states = r._vc_states[port]
+                credits = r.out_credits[port]
+                owners = r.out_vc_owner[port]
+                for vc in range(self.ovc_cnt[rp]):
+                    cred[lane + vc] = credits[vc]
+                    if credits[vc] > 0:
+                        ck |= 1 << vc
+                    ow = owners[vc]
+                    owner[lane + vc] = -1 if ow is None else ow
+                for vc in range(r.config.num_vcs):
+                    state = states[vc]
+                    pid = state.packet_id
+                    st_pid[lane + vc] = -1 if pid is None else pid
+                    rtp = state.route_port
+                    st_route[lane + vc] = -1 if rtp is None else rtp
+                    ov = state.out_vc
+                    st_outvc[lane + vc] = -2 if ov is None else ov
+                    if ov is not None:
+                        a |= 1 << vc
+                    q = state.queue
+                    if q:
+                        om |= 1 << vc
+                        head = q[0]
+                        needs = (
+                            pid != head.packet.packet_id or ov is None
+                        )
+                        need[lane + vc] = 1 if needs else 0
+                        if needs:
+                            nva[rid] += 1
+                    else:
+                        need[lane + vc] = 0
+                occ_mask[rp] = om
+                am[rp] = a
+                credok[rp] = ck
+            active = self.active_lanes[rid]
+            active.clear()
+            for (port, vc) in r._active:
+                active[(base + port) * V + vc] = True
+        self.actmask = 0
+        for rid in net._active_routers:
+            self.actmask |= 1 << rid
+        self.reload_activities()
+
+    def sync(self) -> None:
+        """Mirror the flat state back into the Router objects.
+
+        Exact inverse of :meth:`pack` plus an activity flush; queue
+        contents, stats, sources and event buckets are shared so only
+        scalars move.
+        """
+        net = self.net
+        P, V = self.P, self.V
+        st_pid, st_route, st_outvc = self.st_pid, self.st_route, self.st_outvc
+        cred, owner = self.cred, self.owner
+        for rid, r in enumerate(net.routers):
+            base = rid * P
+            r.occupied_flits = self.occupied[rid]
+            r._va_offset = self.va_off[rid]
+            allocator = r.allocator
+            for port in range(r.num_ports):
+                rp = base + port
+                allocator.input_stage[port]._next = self.in_next[rp]
+                allocator.output_stage[port]._next = self.out_next[rp]
+                allocator.second_output_stage[port]._next = self.sec_next[rp]
+                r._port_active[port] = self.occ_mask[rp].bit_count()
+                lane = rp * V
+                credits = r.out_credits[port]
+                owners = r.out_vc_owner[port]
+                for vc in range(self.ovc_cnt[rp]):
+                    credits[vc] = cred[lane + vc]
+                    ow = owner[lane + vc]
+                    owners[vc] = None if ow == -1 else ow
+                states = r._vc_states[port]
+                for vc in range(r.config.num_vcs):
+                    state = states[vc]
+                    pid = st_pid[lane + vc]
+                    state.packet_id = None if pid == -1 else pid
+                    rtp = st_route[lane + vc]
+                    state.route_port = None if rtp == -1 else rtp
+                    ov = st_outvc[lane + vc]
+                    state.out_vc = None if ov == -2 else ov
+            r._active = {
+                ((lane // V) % P, lane % V): True
+                for lane in self.active_lanes[rid]
+            }
+        net._active_routers = {
+            rid for rid in range(self.R) if self.actmask >> rid & 1
+        }
+        self.flush_activity()
+
+    # -- the batch cycle ---------------------------------------------------
+    def step(self) -> None:
+        """One clock cycle over the flattened state.
+
+        Phase order, bucket formats and iteration orders replicate the
+        event-driven kernel exactly (see ``Network.step``); every
+        divergence would show in the differential suite's digests.
+        """
+        net = self.net
+        cycle = net.cycle
+        P, V = self.P, self.V
+        queues = self.queues
+        st_pid, st_route, st_outvc = self.st_pid, self.st_route, self.st_outvc
+        need, nva = self.need, self.nva
+        cred, owner = self.cred, self.owner
+        occ_mask, am, credok = self.occ_mask, self.am, self.credok
+        occupied = self.occupied
+        active_lanes = self.active_lanes
+        ej_pmask = self.ej_pmask
+        route_tab = self.route_tab
+        ovc_cnt = self.ovc_cnt
+        depth = self.depth
+        po = net.config.router_pipeline_stages - 1
+        arrivals = net._arrivals
+        credits_q = net._credits
+        a_bw = self.a_bw
+
+        # -- phase 1: link arrivals scheduled for this cycle ------------
+        events = arrivals.pop(cycle, None)
+        if events is not None:
+            actmask = self.actmask
+            ready = cycle + po
+            for rid, port, vc, flit in events:
+                rp = rid * P + port
+                lane = rp * V + vc
+                q = queues[lane]
+                if len(q) >= depth[rid]:
+                    raise RuntimeError(
+                        f"buffer overflow at router {rid} "
+                        f"port {port} vc {vc}: credit protocol violated"
+                    )
+                flit.ready_at = ready
+                if not q:
+                    occ_mask[rp] |= 1 << vc
+                    active_lanes[rid][lane] = True
+                    if st_pid[lane] != flit.packet.packet_id or (
+                        st_outvc[lane] == -2
+                    ):
+                        if not need[lane]:
+                            need[lane] = 1
+                            nva[rid] += 1
+                q.append(flit)
+                occupied[rid] += 1
+                a_bw[rid] += 1
+                actmask |= 1 << rid
+            self.actmask = actmask
+
+        # -- phase 2: credit returns ------------------------------------
+        events = credits_q.pop(cycle, None)
+        if events is not None:
+            ceil = self.ceil
+            for rid, port, vc, release in events:
+                rp = rid * P + port
+                lane = rp * V + vc
+                c = cred[lane] + 1
+                if c > ceil[rp]:
+                    raise RuntimeError(
+                        f"credit overflow at router {rid} port {port} vc {vc}"
+                    )
+                cred[lane] = c
+                credok[rp] |= 1 << vc
+                if release:
+                    owner[lane] = -1
+
+        # -- phase 3: injection from active sources ---------------------
+        active_sources = net._active_sources
+        if active_sources:
+            sources = net.sources
+            node_rid = net._node_router_id
+            node_port = net._node_port
+            node_lanes = net._node_lanes
+            nvcs = self.nvcs
+            actmask = self.actmask
+            ready = cycle + po
+            for node in sorted(active_sources):
+                source = sources[node]
+                if source.next_flit >= len(source.flits) and not source.queue:
+                    active_sources.discard(node)
+                    continue
+                rid = node_rid[node]
+                port = node_port[node]
+                lanes = node_lanes[node]
+                rp = rid * P + port
+                lane0 = rp * V
+                cap = depth[rid]
+                budget = lanes
+                while budget > 0:
+                    if source.next_flit >= len(source.flits):
+                        if not source.queue:
+                            break
+                        # -- pick an injection VC (idle preferred) ------
+                        vc = None
+                        fallback, fallback_free = None, 0
+                        for cand in range(nvcs[rid]):
+                            q = queues[lane0 + cand]
+                            free = cap - len(q)
+                            if free == 0:
+                                continue
+                            if not q and st_pid[lane0 + cand] == -1:
+                                vc = cand
+                                break
+                            if free > fallback_free:
+                                fallback, fallback_free = cand, free
+                        if vc is None:
+                            vc = fallback
+                        if vc is None:
+                            break
+                        packet = source.queue.popleft()
+                        source.flits = packet.make_flits()
+                        source.next_flit = 0
+                        source.vc = vc
+                        packet.injected_at = cycle
+                        packet.min_lanes = lanes
+                    vc = source.vc
+                    lane = lane0 + vc
+                    q = queues[lane]
+                    if len(q) >= cap:
+                        break
+                    flit = source.flits[source.next_flit]
+                    flit.ready_at = ready
+                    if not q:
+                        occ_mask[rp] |= 1 << vc
+                        active_lanes[rid][lane] = True
+                        if st_pid[lane] != flit.packet.packet_id or (
+                            st_outvc[lane] == -2
+                        ):
+                            if not need[lane]:
+                                need[lane] = 1
+                                nva[rid] += 1
+                    q.append(flit)
+                    occupied[rid] += 1
+                    a_bw[rid] += 1
+                    actmask |= 1 << rid
+                    source.next_flit += 1
+                    budget -= 1
+                    if source.next_flit >= len(source.flits):
+                        source.flits = []
+                        source.next_flit = 0
+                        source.vc = None
+            self.actmask = actmask
+
+        # -- phases 4+5: RC/VA, switch allocation, traversal ------------
+        # Routers are walked in ascending id order (the bitmask is the
+        # sorted active set); drained routers are pruned exactly as the
+        # event kernel prunes them.  VA for a router completes before
+        # its SA, and no same-cycle state crosses routers (arrivals and
+        # credits travel through the future-cycle buckets), so fusing
+        # the phases per router is bit-identical to the two-pass walk.
+        measuring = net.measuring
+        in_next, out_next, sec_next = self.in_next, self.out_next, self.sec_next
+        nports, nvcs = self.nports, self.nvcs
+        va_off = self.va_off
+        slanes, linkinfo, upstream = self.slanes, self.linkinfo, self.upstream
+        merging = net._merging
+        cd = net._credit_delay
+        grants = self._grants
+        bid_vc = self._bid_vc
+        bid_ports = self._bid_ports
+        obid = self._obid
+        out_order = self._out_order
+        elig_mask = self._elig_mask
+        stats = net._stats
+        link_flits = stats.link_flits
+        ej_lanes = self.ej_lanes
+        a_br, a_xb, a_rc = self.a_br, self.a_xb, self.a_rc
+        a_va, a_arb, a_cf = self.a_va, self.a_arb, self.a_cf
+        a_cs, a_mg, a_oc = self.a_cs, self.a_mg, self.a_oc
+        complete = net._complete_packet
+        m = self.actmask
+        while m:
+            low = m & -m
+            m ^= low
+            rid = low.bit_length() - 1
+            if not occupied[rid]:
+                self.actmask ^= low
+                continue
+            base = rid * P
+            ejp = ej_pmask[rid]
+            lanes_dict = active_lanes[rid]
+
+            # ---- RC + VC allocation (needy lanes only) ----------------
+            off = va_off[rid]
+            va_off[rid] = off + 1
+            needy = nva[rid]
+            if needy:
+                if needy == 1:
+                    # A single needy lane allocates identically wherever
+                    # the rotation starts: non-needy lanes neither read
+                    # nor write allocation state.  Skip the list build.
+                    order = ()
+                    for lane in lanes_dict:
+                        if need[lane]:
+                            order = (lane,)
+                            break
+                else:
+                    offset = off % len(lanes_dict)
+                    order = list(lanes_dict)
+                    if offset:
+                        order = order[offset:] + order[:offset]
+                rt = route_tab[rid]
+                for lane in order:
+                    if not need[lane]:
+                        continue
+                    q = queues[lane]
+                    if not q:
+                        continue
+                    flit = q[0]
+                    packet = flit.packet
+                    pid = packet.packet_id
+                    if st_pid[lane] != pid:
+                        if not flit.is_head:
+                            raise RuntimeError(
+                                f"wormhole violation at router {rid}: "
+                                f"body flit of packet {pid} at queue "
+                                "head without its head flit"
+                            )
+                        st_pid[lane] = pid
+                        st_route[lane] = rt[packet.dst]
+                        st_outvc[lane] = -2
+                        a_rc[rid] += 1
+                    if st_outvc[lane] != -2 or flit.ready_at > cycle:
+                        continue
+                    op = st_route[lane]
+                    if ejp >> op & 1:
+                        st_outvc[lane] = -1
+                        am[lane // V] |= 1 << (lane % V)
+                        need[lane] = 0
+                        nva[rid] -= 1
+                        continue
+                    if not flit.is_head:
+                        continue
+                    rp2 = base + op
+                    lane2 = rp2 * V
+                    for cvc in range(ovc_cnt[rp2]):
+                        if owner[lane2 + cvc] == -1:
+                            owner[lane2 + cvc] = pid
+                            st_outvc[lane] = cvc
+                            am[lane // V] |= 1 << (lane % V)
+                            a_va[rid] += 1
+                            need[lane] = 0
+                            nva[rid] -= 1
+                            break
+
+            # ---- switch allocation ------------------------------------
+            out_order.clear()
+            bid_ports.clear()
+            np_ = nports[rid]
+            nv = nvcs[rid]
+            wide = self.has_wide[rid]
+            for port in range(np_):
+                rp = base + port
+                em = occ_mask[rp] & am[rp]
+                if not em:
+                    continue
+                lane = rp * V
+                embit = 0
+                necount = 0
+                mm = em
+                while mm:
+                    lowv = mm & -mm
+                    mm ^= lowv
+                    vc = lowv.bit_length() - 1
+                    if queues[lane + vc][0].ready_at > cycle:
+                        continue
+                    op = st_route[lane + vc]
+                    if ejp >> op & 1:
+                        embit |= lowv
+                        necount += 1
+                    elif credok[base + op] >> st_outvc[lane + vc] & 1:
+                        embit |= lowv
+                        necount += 1
+                    else:
+                        a_cs[rid] += 1
+                if not embit:
+                    continue
+                if necount == 1:
+                    bid = embit.bit_length() - 1
+                    nxt = bid + 1
+                    in_next[rp] = nxt if nxt < nv else 0
+                else:
+                    nxt = in_next[rp]
+                    r = ((embit >> nxt) | (embit << (nv - nxt))) & (
+                        (1 << nv) - 1
+                    )
+                    bid = (nxt + (r & -r).bit_length() - 1) % nv
+                    nxt = bid + 1
+                    in_next[rp] = nxt if nxt < nv else 0
+                    a_cf[rid] += necount - 1
+                a_arb[rid] += 1
+                bid_vc[port] = bid
+                bid_ports.append(port)
+                if wide:
+                    elig_mask[port] = embit
+                op = st_route[lane + bid]
+                if not obid[op]:
+                    out_order.append(op)
+                obid[op] |= 1 << port
+            if out_order:
+                grants.clear()
+                for op in out_order:
+                    m2 = obid[op]
+                    obid[op] = 0
+                    rpo = base + op
+                    if not (m2 & (m2 - 1)):
+                        wp = m2.bit_length() - 1
+                        nxt = wp + 1
+                        out_next[rpo] = nxt if nxt < np_ else 0
+                    else:
+                        nxt = out_next[rpo]
+                        r = ((m2 >> nxt) | (m2 << (np_ - nxt))) & (
+                            (1 << np_) - 1
+                        )
+                        wp = (nxt + (r & -r).bit_length() - 1) % np_
+                        nxt = wp + 1
+                        out_next[rpo] = nxt if nxt < np_ else 0
+                        a_cf[rid] += m2.bit_count() - 1
+                    a_arb[rid] += 1
+                    wvc = bid_vc[wp]
+                    lane = (base + wp) * V + wvc
+                    q1 = queues[lane]
+                    is_ej = ejp >> op & 1
+                    gov = -1 if is_ej else st_outvc[lane]
+                    grants.append((wp, wvc, q1[0], op, gov))
+                    if not merging or slanes[rpo] < 2:
+                        continue
+                    # ---- second parallel arbiter (wide output) --------
+                    second = None
+                    if len(q1) > 1:
+                        nxt_f = q1[1]
+                        if (
+                            nxt_f.packet.packet_id == st_pid[lane]
+                            and nxt_f.ready_at <= cycle
+                        ):
+                            if not is_ej and cred[rpo * V + gov] >= 2:
+                                second = (wp, wvc, nxt_f, op, gov)
+                            elif is_ej:
+                                second = (wp, wvc, nxt_f, op, -1)
+                    if second is None:
+                        cand: Dict[int, int] = {}
+                        cm = elig_mask[wp] & ~(1 << wvc)
+                        lane0 = (base + wp) * V
+                        while cm:
+                            lowv = cm & -cm
+                            cm ^= lowv
+                            vc = lowv.bit_length() - 1
+                            if st_route[lane0 + vc] == op:
+                                cand[wp] = vc
+                                break
+                        for p2 in bid_ports:
+                            if p2 == wp:
+                                continue
+                            vcb = bid_vc[p2]
+                            if st_route[(base + p2) * V + vcb] == op:
+                                if p2 not in cand:
+                                    cand[p2] = vcb
+                        if cand:
+                            if len(cand) == 1:
+                                cp = next(iter(cand))
+                                nxt = cp + 1
+                                sec_next[rpo] = nxt if nxt < np_ else 0
+                            else:
+                                m3 = 0
+                                for p2 in cand:
+                                    m3 |= 1 << p2
+                                nxt = sec_next[rpo]
+                                r = ((m3 >> nxt) | (m3 << (np_ - nxt))) & (
+                                    (1 << np_) - 1
+                                )
+                                cp = (nxt + (r & -r).bit_length() - 1) % np_
+                                nxt = cp + 1
+                                sec_next[rpo] = nxt if nxt < np_ else 0
+                            a_arb[rid] += 1
+                            cvc = cand[cp]
+                            lane2 = (base + cp) * V + cvc
+                            second = (
+                                cp, cvc, queues[lane2][0], op,
+                                -1 if is_ej else st_outvc[lane2],
+                            )
+                    if second is not None:
+                        grants.append(second)
+                        a_mg[rid] += 1
+
+                # ---- switch traversal ---------------------------------
+                used_mask = 0
+                for ip, ivc, flit, op, gov in grants:
+                    rp_in = base + ip
+                    lane = rp_in * V + ivc
+                    q = queues[lane]
+                    popped = q.popleft()
+                    if popped is not flit:
+                        raise RuntimeError(
+                            "switch traversal popped an unexpected flit"
+                        )
+                    occupied[rid] -= 1
+                    a_br[rid] += 1
+                    a_xb[rid] += 1
+                    if not q:
+                        occ_mask[rp_in] &= ~(1 << ivc)
+                        del lanes_dict[lane]
+                    if gov >= 0:
+                        cidx = (base + op) * V + gov
+                        c = cred[cidx] - 1
+                        cred[cidx] = c
+                        if not c:
+                            credok[base + op] &= ~(1 << gov)
+                        elif c < 0:
+                            raise RuntimeError(
+                                f"negative credits at router {rid} "
+                                f"port {op} vc {gov}"
+                            )
+                    packet = flit.packet
+                    is_tail = flit.is_tail
+                    if ejp >> op & 1:
+                        if flit.is_head and packet.min_lanes is not None:
+                            el = ej_lanes[rid]
+                            if el < packet.min_lanes:
+                                packet.min_lanes = el
+                        if is_tail:
+                            complete(packet, cycle)
+                    else:
+                        drid, dport, delay, llanes = linkinfo[base + op]
+                        if flit.is_head:
+                            packet.hops += 1
+                            if packet.min_lanes is not None:
+                                width = llanes if merging else 1
+                                if width < packet.min_lanes:
+                                    packet.min_lanes = width
+                        when = cycle + delay
+                        bucket = arrivals.get(when)
+                        if bucket is None:
+                            bucket = arrivals[when] = []
+                        bucket.append((drid, dport, gov, flit))
+                        if measuring:
+                            used_mask |= 1 << op
+                            key = (rid, op)
+                            link_flits[key] = link_flits.get(key, 0) + 1
+                    if is_tail:
+                        st_pid[lane] = -1
+                        st_route[lane] = -1
+                        st_outvc[lane] = -2
+                        am[rp_in] &= ~(1 << ivc)
+                        if q and not need[lane]:
+                            need[lane] = 1
+                            nva[rid] += 1
+                    if not (ejp >> ip & 1):
+                        up = upstream[rp_in]
+                        if up is not None:
+                            when = cycle + cd
+                            bucket = credits_q.get(when)
+                            if bucket is None:
+                                bucket = credits_q[when] = []
+                            bucket.append((up[0], up[1], ivc, is_tail))
+                if used_mask:
+                    link_busy = stats.link_busy_cycles
+                    while used_mask:
+                        lowp = used_mask & -used_mask
+                        used_mask ^= lowp
+                        key = (rid, lowp.bit_length() - 1)
+                        link_busy[key] = link_busy.get(key, 0) + 1
+            # Occupancy after this router's own traversal equals the
+            # end-of-walk value: no other router mutates it this cycle.
+            if measuring:
+                a_oc[rid] += occupied[rid]
+
+        # -- phase 6: measurement bookkeeping ---------------------------
+        if measuring:
+            stats.measured_cycles += 1
+
+        net.cycle = cycle + 1
+
+    # -- diagnostics -------------------------------------------------------
+    def total_buffered_flits(self) -> int:
+        return sum(self.occupied)

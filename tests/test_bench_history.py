@@ -99,7 +99,8 @@ class TestCliIntegration:
                 *extra,
             ]
             code = main(argv)
-            return code, capsys.readouterr().out, tmp_path / "hist.jsonl"
+            captured = capsys.readouterr()
+            return code, captured.out + captured.err, tmp_path / "hist.jsonl"
         return _run
 
     def test_appends_timestamped_entry(self, run):
@@ -132,3 +133,28 @@ class TestCliIntegration:
         code, out, _ = run("--no-history", "--baseline", str(baseline))
         assert code == 0
         assert "no regressions" in out
+
+    def test_unknown_only_case_exits_nonzero(self, run):
+        """A typoed --only must not silently time nothing (exit 2,
+        naming the unknown case)."""
+        code, out, history = run("--only", "empty-16x16")
+        assert code == 2
+        assert "empty-16x16" in out
+        assert "unknown bench case" in out
+        assert not history.exists(), "a failed run must not append history"
+
+    def test_run_suite_rejects_unknown_case(self):
+        from repro.noc.bench import run_suite
+
+        with pytest.raises(ValueError, match="no-such-case"):
+            run_suite(repeat=1, only=["no-such-case"])
+
+    def test_soa_kernel_runs_and_reports(self, run):
+        """--kernel soa adds a soa section to the history entry."""
+        code, out, history = run(
+            "--kernel", "soa", "--timestamp", "2026-08-08T00:00:00Z"
+        )
+        assert code == 0
+        assert "[soa] empty-4x4" in out
+        entry = json.loads(history.read_text())
+        assert entry["soa"]["empty-4x4"] > 0

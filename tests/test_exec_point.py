@@ -104,6 +104,10 @@ class TestValidation:
         with pytest.raises(ValueError, match="injector"):
             SweepPoint(injector="poisson")
 
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            SweepPoint(kernel="vectorized")
+
 
 class TestNetworkConstruction:
     def test_named_layout_mesh(self):
@@ -129,6 +133,29 @@ class TestNetworkConstruction:
         injector = point.build_injector(16)
         assert injector is not None
         assert PINNED_POINT.build_injector(16) is None
+
+    def test_kernel_default_is_event(self):
+        network = PINNED_POINT.build_network()
+        assert PINNED_POINT.kernel is None
+        assert network.kernel == "event"
+
+    @pytest.mark.parametrize("kernel", ["naive", "event", "soa"])
+    def test_kernel_override_reaches_network(self, kernel):
+        point = dataclasses.replace(PINNED_POINT, kernel=kernel)
+        network = point.build_network()
+        assert network.kernel == kernel
+
+    def test_kernel_override_applies_to_custom_positions(self):
+        """Both build_network branches (named layout / explicit big
+        positions) must route through the kernel override."""
+        point = SweepPoint(
+            layout=None, big_positions=(0, 5, 10, 15), mesh_size=4,
+            kernel="soa",
+        )
+        network = point.build_network()
+        assert network.kernel == "soa"
+        network.step()  # activation is lazy: first step engages the kernel
+        assert network.soa_active
 
 
 class TestPointResult:

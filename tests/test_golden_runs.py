@@ -12,6 +12,9 @@ once:
   change to injection order, routing, arbitration or stats shows up as a
   golden diff, deliberately);
 * ``process`` backend == ``serial`` backend, bit for bit;
+* ``naive`` == ``event`` == ``soa`` cycle kernels, bit for bit, via the
+  :class:`SweepPoint` ``kernel`` override (only the spec hash may
+  differ -- the override is part of the cache key);
 * the ``_offer_load`` injection path: packet ids are creation-ordered,
   so the measured window is exactly ids ``[warmup, warmup + measure)``.
 
@@ -22,6 +25,7 @@ Regenerate after an *intentional* simulator change::
 
 import json
 import pathlib
+from dataclasses import replace
 
 import pytest
 
@@ -96,6 +100,54 @@ class TestGoldenReferences:
             hi = lo + point.measure_packets
             expected = sum(range(lo, hi))
             assert serial_results[name].packet_id_sum == expected, name
+
+
+class TestKernelsMatchGolden:
+    """All three cycle kernels reproduce the golden payloads exactly.
+
+    The ``kernel`` field is part of the spec (and hence the cache key)
+    whenever it is set, so only the ``key`` field of the payload may
+    differ from the kernel-free golden reference -- every simulated
+    number must be byte-identical.
+    """
+
+    @staticmethod
+    def _without_key(payload):
+        payload = dict(payload)
+        del payload["key"]
+        return payload
+
+    @pytest.mark.parametrize("kernel", ["naive", "event", "soa"])
+    @pytest.mark.parametrize("name", list(GOLDEN_POINTS))
+    def test_kernel_override_reproduces_golden(self, golden, name, kernel):
+        point = replace(GOLDEN_POINTS[name], kernel=kernel)
+        assert point.spec_dict()["kernel"] == kernel
+        result = execute_point(point).to_dict()
+        assert result["key"] == point.key()
+        assert self._without_key(result) == self._without_key(
+            golden[name]["result"]
+        ), f"{name} diverged under the {kernel} kernel"
+
+    def test_soa_process_backend_bit_identical(self, golden):
+        """soa through the pool workers still equals the golden serial
+        event-kernel reference: kernels x backends all agree."""
+        points = [replace(p, kernel="soa") for p in GOLDEN_POINTS.values()]
+        results = run_sweep(points, jobs=2, backend="process", cache=None)
+        for name, result in zip(GOLDEN_POINTS, results):
+            assert not result.from_cache
+            assert self._without_key(result.to_dict()) == self._without_key(
+                golden[name]["result"]
+            ), name
+
+    def test_kernel_omitted_from_spec_when_unset(self):
+        """A kernel-free spec serializes exactly as it did before the
+        field existed (golden/cache stability), and setting it changes
+        the content hash."""
+        base = GOLDEN_POINTS["homogeneous-4x4-UR"]
+        assert "kernel" not in base.spec_dict()
+        assert replace(base, kernel="soa").key() != base.key()
+        with pytest.raises(ValueError, match="kernel"):
+            replace(base, kernel="vectorized")
 
 
 class TestProcessBackendMatchesGolden:

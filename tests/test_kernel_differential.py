@@ -1,11 +1,17 @@
-"""Differential testing: event-driven kernel vs the naive reference stepper.
+"""Differential testing: the three cycle kernels against each other.
 
-The event-driven :meth:`Network.step` must be *bit-identical* to the
-retained full-scan :meth:`Network._step_naive` -- same flit movements, same
-arbitration pointer evolution, same delivered packets, every cycle.  These
-tests drive both kernels over a randomized matrix of mesh sizes, layouts,
-injection rates and seeds (plus a faulty configuration) and compare a deep
-per-cycle digest of the complete simulation state.
+:meth:`Network.step` can be driven by three kernels -- the event-driven
+active-set kernel (default), the structure-of-arrays batch kernel
+(``repro.noc.soa``) and the retained full-scan reference stepper -- and
+they must be *bit-identical*: same flit movements, same arbitration
+pointer evolution, same activity counters, same delivered packets, every
+cycle.  These tests drive all three over a randomized matrix of mesh
+sizes, layouts, injection rates, payload sizes and seeds (plus faulty
+and observed configurations, which exercise the soa kernel's automatic
+fallback) and compare a deep per-cycle digest of the complete simulation
+state.  Mid-run kernel switches mirror ``tests/test_active_set.py``:
+flipping kernels while wormholes are in flight must not perturb a single
+bit.
 """
 
 import os
@@ -16,11 +22,15 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.layouts import build_network, layout_by_name
+from repro.noc.config import NetworkConfig
 from repro.noc.flit import reset_packet_ids
+
+KERNELS = NetworkConfig.KERNELS  # ("event", "soa", "naive")
 
 
 def _digest(net):
     """Deep per-cycle state digest: anything that can diverge shows here."""
+    net.sync_kernel()
     routers = []
     for router in net.routers:
         allocator = router.allocator
@@ -33,6 +43,7 @@ def _digest(net):
             tuple(arb._next for arb in allocator.input_stage),
             tuple(arb._next for arb in allocator.output_stage),
             tuple(arb._next for arb in allocator.second_output_stage),
+            tuple(vars(router.activity).values()),
             tuple(
                 (
                     port,
@@ -68,12 +79,12 @@ def _digest(net):
     )
 
 
-def _run_one(naive, mesh_size, layout, rate, seed, cycles, payload_bits):
+def _run_one(kernel, mesh_size, layout, rate, seed, cycles, payload_bits):
     """Drive one kernel with deterministic traffic; return digests."""
     reset_packet_ids()
     net = build_network(layout_by_name(layout, mesh_size))
-    net.naive_step = naive
-    assert net.naive_step is naive
+    net.use_kernel(kernel)
+    assert net.kernel == kernel
     rng = random.Random(seed)
     num_nodes = net.topology.num_nodes
     digests = []
@@ -101,6 +112,17 @@ def _run_one(naive, mesh_size, layout, rate, seed, cycles, payload_bits):
     return digests, delivered
 
 
+def _assert_same(reference, other, name):
+    assert reference[1] == other[1], (
+        f"delivered-packet records diverged (event vs {name})"
+    )
+    assert len(reference[0]) == len(other[0]), (
+        f"kernels ran different cycle counts (event vs {name})"
+    )
+    for cycle_index, (a, b) in enumerate(zip(reference[0], other[0])):
+        assert a == b, f"state digest diverged at step {cycle_index} ({name})"
+
+
 @settings(
     max_examples=12,
     deadline=None,
@@ -113,26 +135,42 @@ def _run_one(naive, mesh_size, layout, rate, seed, cycles, payload_bits):
     seed=st.integers(min_value=0, max_value=2**16),
     payload_bits=st.sampled_from([64, 1024]),
 )
-def test_event_kernel_matches_naive(mesh_size, layout, rate, seed, payload_bits):
+def test_three_kernels_bit_identical(mesh_size, layout, rate, seed, payload_bits):
     cycles = 120
-    event = _run_one(False, mesh_size, layout, rate, seed, cycles, payload_bits)
-    naive = _run_one(True, mesh_size, layout, rate, seed, cycles, payload_bits)
-    assert event[1] == naive[1], "delivered-packet records diverged"
-    assert len(event[0]) == len(naive[0]), "kernels ran different cycle counts"
-    for cycle_index, (a, b) in enumerate(zip(event[0], naive[0])):
-        assert a == b, f"state digest diverged at step {cycle_index}"
+    event = _run_one(
+        "event", mesh_size, layout, rate, seed, cycles, payload_bits
+    )
+    for name in ("soa", "naive"):
+        other = _run_one(
+            name, mesh_size, layout, rate, seed, cycles, payload_bits
+        )
+        _assert_same(event, other, name)
 
 
-def test_event_kernel_matches_naive_under_faults():
-    """The dynamic-routing fallback path must also be identical."""
+@pytest.mark.parametrize("layout", ["baseline", "diagonal+B", "diagonal+BL"])
+def test_three_kernels_loaded_smoke(layout):
+    """One fixed loaded point per layout, all kernels (fast determinism
+    check that runs without hypothesis -- the CI soa-smoke subset)."""
+    runs = {
+        name: _run_one(name, 4, layout, 0.20, 1234, 150, 1024)
+        for name in KERNELS
+    }
+    _assert_same(runs["event"], runs["soa"], "soa")
+    _assert_same(runs["event"], runs["naive"], "naive")
+
+
+@pytest.mark.parametrize("kernel", ["naive", "soa"])
+def test_kernels_match_event_under_faults(kernel):
+    """Faulty runs: naive really steps, a requested soa transparently
+    falls back to the event kernel -- both must match it bit-for-bit."""
     from repro.faults.schedule import FaultSchedule, FaultSpec
     from repro.traffic.patterns import pattern_by_name
     from repro.traffic.runner import run_synthetic
 
-    def run(naive):
+    def run(name):
         reset_packet_ids()
         net = build_network(layout_by_name("baseline", 4))
-        net.naive_step = naive
+        net.use_kernel(name)
         faults = FaultSchedule(
             specs=(
                 FaultSpec(kind="link", router=5, port=2, mode="transient",
@@ -147,6 +185,9 @@ def test_event_kernel_matches_naive_under_faults():
             0.08, seed=11, faults=faults,
             warmup_packets=80, measure_packets=300,
         )
+        if name == "soa":
+            # Dynamic (fault-aware) routing forces the fallback.
+            assert net.soa_active is False
         stats = net.stats
         return (
             result.total_cycles,
@@ -159,22 +200,22 @@ def test_event_kernel_matches_naive_under_faults():
             _digest(net),
         )
 
-    assert run(False) == run(True)
+    assert run("event") == run(kernel)
 
 
 def test_switching_kernels_mid_run_is_safe():
-    """Active sets are maintained by both kernels, so flipping mid-run
-    (e.g. to bisect a divergence) must not lose any traffic."""
+    """Active sets and packed state are maintained by every kernel, so
+    flipping mid-run (e.g. to bisect a divergence) must not lose any
+    traffic."""
     reset_packet_ids()
     net = build_network(layout_by_name("baseline", 3))
     rng = random.Random(7)
     num_nodes = net.topology.num_nodes
     offered = 0
+    schedule = {60: "soa", 120: "naive", 180: "soa", 240: "event"}
     for step_index in range(300):
-        if step_index == 90:
-            net.naive_step = True
-        if step_index == 180:
-            net.naive_step = False
+        if step_index in schedule:
+            net.use_kernel(schedule[step_index])
         for node in range(num_nodes):
             if rng.random() < 0.1:
                 dst = rng.randrange(num_nodes)
@@ -187,21 +228,98 @@ def test_switching_kernels_mid_run_is_safe():
     assert net.total_buffered_flits() == 0
 
 
-def test_naive_step_env_var():
-    """REPRO_NAIVE_STEP=1 selects the reference stepper at construction."""
-    os.environ["REPRO_NAIVE_STEP"] = "1"
+@pytest.mark.parametrize("pivot", ["soa", "naive"])
+def test_mid_run_switch_is_bit_identical(pivot):
+    """A kernel hand-off mid-wormhole must not perturb a single bit:
+    event-for-the-whole-run == switch-away-and-back."""
+
+    def run(switch):
+        reset_packet_ids()
+        net = build_network(layout_by_name("diagonal+BL", 4))
+        rng = random.Random(99)
+        num_nodes = net.topology.num_nodes
+        for step_index in range(240):
+            if switch:
+                if step_index == 80:
+                    net.use_kernel(pivot)
+                elif step_index == 160:
+                    net.use_kernel("event")
+            for node in range(num_nodes):
+                if rng.random() < 0.15:
+                    dst = rng.randrange(num_nodes)
+                    if dst != node:
+                        net.enqueue(net.make_packet(node, dst))
+            net.step()
+        net.drain()
+        return _digest(net)
+
+    assert run(False) == run(True)
+
+
+def test_kernel_env_overrides():
+    """REPRO_KERNEL selects the kernel at construction; the legacy
+    REPRO_NAIVE_STEP=1 still wins for backwards compatibility."""
     try:
+        os.environ["REPRO_KERNEL"] = "soa"
         reset_packet_ids()
         net = build_network(layout_by_name("baseline", 2))
+        assert net.kernel == "soa"
+        assert net.naive_step is False
+        os.environ["REPRO_NAIVE_STEP"] = "1"
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 2))
+        assert net.kernel == "naive"
         assert net.naive_step is True
         # Dynamic lookups only: no precomputed tables in naive mode.
         assert all(r._route_table is None for r in net.routers)
     finally:
+        del os.environ["REPRO_KERNEL"]
         del os.environ["REPRO_NAIVE_STEP"]
     reset_packet_ids()
     net = build_network(layout_by_name("baseline", 2))
-    assert net.naive_step is False
+    assert net.kernel == "event"
     assert all(r._route_table is not None for r in net.routers)
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(ValueError, match="kernel"):
+        NetworkConfig(kernel="vectorized")
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 2))
+    with pytest.raises(ValueError, match="unknown kernel"):
+        net.use_kernel("vectorized")
+    os.environ["REPRO_KERNEL"] = "bogus"
+    try:
+        with pytest.raises(ValueError):
+            build_network(layout_by_name("baseline", 2))
+    finally:
+        del os.environ["REPRO_KERNEL"]
+
+
+def test_soa_falls_back_when_hooks_attached():
+    """Observation hooks and watchdogs need per-flit callbacks: a
+    requested soa kernel must hand the cycle back to the event kernel
+    while they are attached, and resume batching when detached."""
+    from repro.faults import Watchdog
+
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 3))
+    net.use_kernel("soa")
+    net.enqueue(net.make_packet(0, 8))
+    net.step()
+    assert net.soa_active is True
+
+    watchdog = Watchdog(stall_window=10_000, check_interval=64)
+    net.attach_watchdog(watchdog)
+    net.step()
+    assert net.soa_active is False, "watchdog must force the event kernel"
+    assert net.kernel == "soa", "the *requested* kernel is unchanged"
+    net.detach_watchdog()
+    net.step()
+    assert net.soa_active is True, "fallback must lift on detach"
+    net.drain()
+    assert net.total_delivered == 1
+    assert net.total_buffered_flits() == 0
 
 
 def test_route_tables_match_dynamic_routing():

@@ -274,3 +274,102 @@ class TestTableRouting:
     def test_rejects_torus(self):
         with pytest.raises(TypeError):
             TableRouting(Torus(8), set(), set())
+
+
+class TestRouteTables:
+    """``build_route_tables``: the precomputed routing tensors.
+
+    The network (and the structure-of-arrays kernel, which refuses to
+    run without them) installs ``tables[router][dst] -> out_port`` when
+    the discipline is a pure function of (router, destination).  These
+    tests pin which disciplines publish tables, that every entry agrees
+    with the dynamic ``output_port`` lookup, and that probing never
+    consumes global packet ids (which would break bit-identical replay).
+    """
+
+    PURE = [
+        (Mesh(4), XYRouting),
+        (ConcentratedMesh(4, concentration=4), XYRouting),
+        (FlattenedButterfly(4, concentration=4), FlattenedButterflyRouting),
+    ]
+
+    @pytest.mark.parametrize(
+        "topology,routing_cls", PURE,
+        ids=["mesh", "cmesh", "fbfly"],
+    )
+    def test_tables_match_dynamic_output_port(self, topology, routing_cls):
+        routing = routing_cls(topology)
+        tables = routing.build_route_tables()
+        assert tables is not None
+        assert len(tables) == topology.num_routers
+        for router, row in enumerate(tables):
+            assert len(row) == topology.num_nodes
+            for dst, port in enumerate(row):
+                packet = Packet(src=0, dst=dst, num_flits=1, created_at=0)
+                assert port == routing.output_port(router, packet)
+
+    def test_table_entries_are_legal_ports(self):
+        cmesh = ConcentratedMesh(4, concentration=4)
+        tables = XYRouting(cmesh).build_route_tables()
+        for router, row in enumerate(tables):
+            nports = cmesh.num_ports(router)
+            assert all(0 <= port < nports for port in row)
+            # Destinations attached here map to distinct local ports.
+            local = [
+                row[dst] for dst in range(cmesh.num_nodes)
+                if cmesh.router_of_node(dst) == router
+            ]
+            assert len(set(local)) == len(local)
+            assert all(cmesh.is_local_port(router, p) for p in local)
+
+    def test_stateful_disciplines_publish_no_tables(self):
+        """Torus dateline classes and table/escape routing mutate
+        per-packet state, so they must keep the dynamic lookup."""
+        assert TorusXYRouting(Torus(4)).build_route_tables() is None
+        table = TableRouting(
+            Mesh(8),
+            big_routers=diagonal_positions(8),
+            table_nodes={0, 63},
+        )
+        assert table.build_route_tables() is None
+
+    def test_probe_does_not_consume_packet_ids(self):
+        from repro.noc.flit import reset_packet_ids
+
+        reset_packet_ids()
+        XYRouting(Mesh(4)).build_route_tables()
+        fresh = Packet(src=0, dst=1, num_flits=1, created_at=0)
+        assert fresh.packet_id == 0, (
+            "probe packets must carry explicit ids; drawing from the "
+            "global counter breaks bit-identical sweep replay"
+        )
+        reset_packet_ids()
+
+    def test_uses_default_va_flags(self):
+        """VA-candidate tables are only precomputable for disciplines
+        that keep the base-class allowed_vcs/va_candidates."""
+        assert XYRouting(Mesh(4)).uses_default_va()
+        assert FlattenedButterflyRouting(
+            FlattenedButterfly(4, concentration=4)
+        ).uses_default_va()
+        assert not TorusXYRouting(Torus(4)).uses_default_va()
+        assert not TableRouting(
+            Mesh(8), big_routers=diagonal_positions(8), table_nodes={0},
+        ).uses_default_va()
+
+    def test_table_routing_builds_both_directions_per_endpoint(self):
+        mesh = Mesh(8)
+        routing = TableRouting(
+            mesh,
+            big_routers=diagonal_positions(8),
+            table_nodes={0, 63},
+        )
+        for endpoint in (0, 63):
+            endpoint_router = mesh.router_of_node(endpoint)
+            for other in range(mesh.num_routers):
+                if other == endpoint_router:
+                    continue
+                to = routing.path_routers(endpoint_router, other)
+                fro = routing.path_routers(other, endpoint_router)
+                assert to[0] == endpoint_router and to[-1] == other
+                assert fro[0] == other and fro[-1] == endpoint_router

@@ -41,6 +41,15 @@ class TestPlacementPoints:
         with pytest.raises(ValueError, match="schedules"):
             placement_points(CANDIDATES, 4, faults=[None])
 
+    def test_kernel_forwarded_to_every_point(self):
+        points = placement_points(CANDIDATES, 4, kernel="soa")
+        assert all(p.kernel == "soa" for p in points)
+        assert all(p.spec_dict()["kernel"] == "soa" for p in points)
+        # Unset stays off the spec, so existing cached refinements keep
+        # their keys.
+        default = placement_points(CANDIDATES, 4)
+        assert all("kernel" not in p.spec_dict() for p in default)
+
 
 class TestRefinePlacements:
     def test_sorted_by_latency_with_scores_attached(self):
