@@ -1,0 +1,37 @@
+"""Deterministic chaos harness for the crash-safety layer.
+
+Three fault families, all seeded and reproducible:
+
+* :mod:`repro.chaos.kill` -- SIGKILL a sweep worker mid-point, exactly
+  once per planned point (one-shot token files claimed by atomic
+  ``unlink``), so retry rounds prove the pool rebuild and the result
+  store recover with bit-identical results.
+* :mod:`repro.chaos.sites` -- named fault sites compiled into the
+  production code (``store.get``, ``store.put``, ``runner.checkpoint``)
+  that raise a planned ``OSError`` / ``MemoryError`` on planned call
+  indices, gated entirely by the ``REPRO_CHAOS_PLAN`` environment
+  variable: zero cost and zero behaviour change when unset.
+* :mod:`repro.chaos.corrupt` -- seeded on-disk damage: truncation,
+  bit-flips and SQL-level row mangling, used to prove snapshot loads
+  *detect* corruption and the store quarantines rather than serves it.
+
+``python -m repro.chaos --smoke`` runs the end-to-end scenario
+(:mod:`repro.chaos.harness`): a sweep survives a worker SIGKILL, store
+row corruption, a torn checkpoint and injected store I/O faults, and
+still produces results byte-identical to an undisturbed serial run.
+"""
+
+from repro.chaos.corrupt import corrupt_store_rows, flip_bits, truncate_file
+from repro.chaos.kill import maybe_kill_self, write_kill_plan
+from repro.chaos.sites import chaos_site, reset_chaos_sites, write_site_plan
+
+__all__ = [
+    "chaos_site",
+    "corrupt_store_rows",
+    "flip_bits",
+    "maybe_kill_self",
+    "reset_chaos_sites",
+    "truncate_file",
+    "write_kill_plan",
+    "write_site_plan",
+]

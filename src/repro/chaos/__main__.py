@@ -1,0 +1,61 @@
+"""``python -m repro.chaos`` -- run the chaos scenario from the shell.
+
+Exits non-zero on the first crash-safety violation, so CI can gate on
+it (the ``chaos-smoke`` job).  ``--smoke`` keeps the default tiny
+workload explicit on the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from repro.chaos.harness import ChaosMismatch, run_chaos_scenario
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic chaos scenario: SIGKILLed workers, "
+        "corrupted stores and checkpoints, injected I/O faults -- the "
+        "sweep must still produce bit-identical results.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the tiny CI-sized workload (currently also the default)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool size for the SIGKILL step (min 2)")
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for stores/checkpoints/plans "
+        "(default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.workdir is not None:
+            report = run_chaos_scenario(
+                args.workdir, seed=args.seed, jobs=args.jobs
+            )
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                report = run_chaos_scenario(
+                    tmp, seed=args.seed, jobs=args.jobs
+                )
+    except ChaosMismatch as exc:
+        print(f"CHAOS FAILURE: {exc}", file=sys.stderr)
+        return 1
+    for step, status in report.items():
+        print(f"  {step}: {status}")
+    print("chaos scenario passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

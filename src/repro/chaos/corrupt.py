@@ -1,0 +1,80 @@
+"""Seeded on-disk corruption.
+
+Damage generators for the chaos tests: every function is deterministic
+given its ``seed``, so a failing chaos run replays exactly.  These are
+the *attacks*; the defenses under test are the snapshot container's
+sha256 verification (:mod:`repro.noc.snapshot`) and the result store's
+row quarantine (:mod:`repro.exec.store`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import sqlite3
+from typing import List
+
+
+def truncate_file(path, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to ``keep_fraction`` of its size; returns new size.
+
+    Models a torn write / dirty shutdown.  ``keep_fraction=0`` empties
+    the file.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1], got {keep_fraction}")
+    path = pathlib.Path(path)
+    keep = int(path.stat().st_size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def flip_bits(path, seed: int = 0, flips: int = 1) -> List[int]:
+    """Flip ``flips`` seeded-random bits in ``path``; returns byte offsets.
+
+    Models bit rot.  Offsets are drawn from ``random.Random(seed)`` so
+    the damage replays exactly.
+    """
+    path = pathlib.Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return []
+    rng = random.Random(seed)
+    offsets = []
+    for _ in range(flips):
+        offset = rng.randrange(len(data))
+        data[offset] ^= 1 << rng.randrange(8)
+        offsets.append(offset)
+    path.write_bytes(bytes(data))
+    return offsets
+
+
+def corrupt_store_rows(
+    store_path, count: int = 1, seed: int = 0
+) -> List[str]:
+    """Mangle ``count`` seeded-random rows of a result store in place.
+
+    The result JSON of each chosen row is overwritten with garbage while
+    its checksum column is left alone, so the store's read-side checksum
+    verification must catch it.  Returns the mangled keys.
+    """
+    conn = sqlite3.connect(store_path)
+    try:
+        keys = [
+            row[0]
+            for row in conn.execute("SELECT key FROM results ORDER BY key")
+        ]
+        if not keys:
+            return []
+        rng = random.Random(seed)
+        chosen = rng.sample(keys, min(count, len(keys)))
+        with conn:
+            for key in chosen:
+                conn.execute(
+                    "UPDATE results SET result = ? WHERE key = ?",
+                    ('{"mangled by chaos":', key),
+                )
+        return chosen
+    finally:
+        conn.close()

@@ -1,0 +1,92 @@
+"""SIGKILL injection for sweep workers.
+
+The plan is a JSON file named by ``REPRO_CHAOS_KILL``::
+
+    {
+      "keys": ["<point.key()>", ...],
+      "tokens_dir": "/tmp/kill-tokens",
+      "parent_pid": 12345,
+      "signal": 9
+    }
+
+:func:`maybe_kill_self` is called by the engine at the top of every
+point execution (worker side).  If the current point is planned, the
+process claims the point's one-shot token by atomic ``os.unlink`` and
+then SIGKILLs *itself* -- no cleanup handlers, no atexit, exactly what a
+machine crash looks like to the parent.  The unlink-first ordering makes
+the kill fire exactly once: the retry round finds the token gone and
+runs the point normally.
+
+``parent_pid`` is a safety interlock: the orchestrating process records
+its own pid when writing the plan, and :func:`maybe_kill_self` refuses
+to kill it, so a sweep that happens to run a planned point serially
+degrades to "no kill" instead of taking the whole run down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+from typing import Optional, Sequence
+
+
+def maybe_kill_self(point) -> None:
+    """SIGKILL the current process if the kill plan targets ``point``."""
+    plan_path = os.environ.get("REPRO_CHAOS_KILL")
+    if not plan_path:
+        return
+    try:
+        plan = json.loads(pathlib.Path(plan_path).read_text())
+    except (OSError, ValueError):
+        return
+    if not isinstance(plan, dict):
+        return
+    if os.getpid() == plan.get("parent_pid"):
+        return
+    key = point.key()
+    if key not in plan.get("keys", ()):
+        return
+    tokens_dir = plan.get("tokens_dir")
+    if tokens_dir:
+        try:
+            (pathlib.Path(tokens_dir) / f"{key}.token").unlink()
+        except OSError:
+            return  # already fired for this point
+    os.kill(os.getpid(), int(plan.get("signal", signal.SIGKILL)))
+
+
+def write_kill_plan(
+    path,
+    points: Sequence,
+    tokens_dir,
+    parent_pid: Optional[int] = None,
+    kill_signal: int = signal.SIGKILL,
+) -> pathlib.Path:
+    """Write a kill plan targeting ``points`` and arm one token each.
+
+    Returns the plan path; point ``REPRO_CHAOS_KILL`` at it to enable.
+    ``parent_pid`` defaults to the calling process, which is the usual
+    orchestrator-protecting choice.
+    """
+    path = pathlib.Path(path)
+    tokens_dir = pathlib.Path(tokens_dir)
+    tokens_dir.mkdir(parents=True, exist_ok=True)
+    keys = [point.key() for point in points]
+    for key in keys:
+        (tokens_dir / f"{key}.token").touch()
+    path.write_text(
+        json.dumps(
+            {
+                "keys": keys,
+                "tokens_dir": str(tokens_dir),
+                "parent_pid": (
+                    os.getpid() if parent_pid is None else parent_pid
+                ),
+                "signal": int(kill_signal),
+            },
+            indent=2,
+        )
+    )
+    return path

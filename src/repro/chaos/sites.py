@@ -1,0 +1,121 @@
+"""Named, plan-driven fault sites.
+
+A *site* is a point in production code that may raise an injected
+exception -- ``chaos_site("store.put")`` and friends.  The sites do
+nothing unless ``REPRO_CHAOS_PLAN`` names a JSON plan file::
+
+    {
+      "sites": {
+        "store.put": {"exc": "OSError", "calls": [0],
+                      "message": "chaos: disk full"},
+        "runner.checkpoint": {"exc": "MemoryError",
+                              "once_dir": "/tmp/tokens"}
+      }
+    }
+
+Determinism comes from two mechanisms, usable together:
+
+* ``calls`` -- a list of per-process call indices (0-based) at which the
+  site fires; other calls pass through.
+* ``once_dir`` -- a directory of one-shot token files.  A firing call
+  must first *claim* its token via atomic ``os.unlink``; whichever
+  process claims it fires, every later attempt passes through.  This is
+  what makes "fail exactly once, then succeed on retry" exact even
+  across SIGKILLed and respawned pool workers.
+
+Production call sites are wrapped in ``if os.environ.get(
+"REPRO_CHAOS_PLAN")`` so the disabled path costs one dict lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Optional
+
+_EXCEPTIONS = {
+    "OSError": OSError,
+    "IOError": OSError,
+    "MemoryError": MemoryError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+}
+
+_plan_cache: Dict[str, dict] = {}
+_call_counts: Dict[str, int] = {}
+
+
+def reset_chaos_sites() -> None:
+    """Forget cached plans and per-process call counters (tests)."""
+    _plan_cache.clear()
+    _call_counts.clear()
+
+
+def _load_plan() -> Optional[dict]:
+    path = os.environ.get("REPRO_CHAOS_PLAN")
+    if not path:
+        return None
+    plan = _plan_cache.get(path)
+    if plan is not None:
+        return plan
+    try:
+        plan = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        # A torn plan never takes the workload down with it.
+        return None
+    if not isinstance(plan, dict):
+        return None
+    _plan_cache[path] = plan
+    return plan
+
+
+def token_path(once_dir, site: str, index: int) -> pathlib.Path:
+    """The one-shot token file for firing ``site`` at call ``index``."""
+    return pathlib.Path(once_dir) / f"{site.replace('.', '_')}.{index}.token"
+
+
+def chaos_site(site: str) -> None:
+    """Raise the planned fault for ``site``, if the plan says so now.
+
+    No plan, site not planned, wrong call index, or token already
+    claimed: returns without side effects (beyond the call counter).
+    """
+    plan = _load_plan()
+    if plan is None:
+        return
+    spec = plan.get("sites", {}).get(site)
+    index = _call_counts.get(site, 0)
+    _call_counts[site] = index + 1
+    if not spec:
+        return
+    calls = spec.get("calls")
+    if calls is not None and index not in calls:
+        return
+    once_dir = spec.get("once_dir")
+    if once_dir:
+        try:
+            token_path(once_dir, site, index if calls is not None else 0).unlink()
+        except OSError:
+            return  # already claimed (or never armed): pass through
+    exc_type = _EXCEPTIONS.get(spec.get("exc", "OSError"), RuntimeError)
+    raise exc_type(spec.get("message", f"chaos fault injected at {site}"))
+
+
+def write_site_plan(path, sites: Dict[str, dict]) -> pathlib.Path:
+    """Write a site plan and arm one token per ``once_dir`` site.
+
+    Returns the plan path; point ``REPRO_CHAOS_PLAN`` at it to enable.
+    """
+    path = pathlib.Path(path)
+    for site, spec in sites.items():
+        once_dir = spec.get("once_dir")
+        if not once_dir:
+            continue
+        pathlib.Path(once_dir).mkdir(parents=True, exist_ok=True)
+        calls = spec.get("calls")
+        indices = calls if calls is not None else [0]
+        for index in indices:
+            token_path(once_dir, site, index if calls is not None else 0).touch()
+    path.write_text(json.dumps({"sites": sites}, indent=2))
+    return path

@@ -7,13 +7,16 @@ first-class operation:
 * :func:`execute_point` -- run one spec from scratch, deterministically
   (packet ids rewound per point);
 * :func:`run_sweep` -- execute many specs through a ``serial`` or
-  ``process`` backend, short-circuiting through a :class:`ResultCache`;
+  ``process`` backend, short-circuiting through a :class:`ResultCache`
+  (loose JSON files) or a :class:`ResultStore` (crash-safe WAL-mode
+  SQLite with a sweep journal and corrupt-row quarantine; selected by a
+  ``.sqlite``/``.db`` cache path);
 * :func:`configure` -- process-wide defaults (``--jobs``/``--no-cache``
   in ``run_all``, ``REPRO_JOBS``/``REPRO_SWEEP_CACHE`` in CI).
 
 The contract the test suite pins: for a given spec, serial execution,
-process execution and a cache hit all yield the same
-:class:`PointResult`, bit for bit.
+process execution and a cache hit -- on either backend -- all yield the
+same :class:`PointResult`, bit for bit.
 """
 
 from repro.exec.cache import ResultCache, default_cache_dir
@@ -24,16 +27,19 @@ from repro.exec.point import (
     SweepPoint,
     execute_point,
 )
+from repro.exec.store import ResultStore, open_result_backend
 
 __all__ = [
     "SPEC_VERSION",
     "ExecDefaults",
     "PointResult",
     "ResultCache",
+    "ResultStore",
     "SweepPoint",
     "configure",
     "default_cache_dir",
     "execute_point",
+    "open_result_backend",
     "run_sweep",
     "sweep_points",
 ]

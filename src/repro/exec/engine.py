@@ -20,9 +20,23 @@ per point *in input order*.  Three orthogonal choices:
   as points complete; :func:`repro.obs.profiler.make_progress_printer`
   plugs in directly.
 
+The ``cache`` argument accepts two durable backends, chosen by path: a
+directory keeps the loose-file :class:`~repro.exec.cache.ResultCache`,
+while a ``.sqlite``/``.sqlite3``/``.db`` path selects the crash-safe
+:class:`~repro.exec.store.ResultStore` (WAL-mode SQLite with atomic
+per-point commits, a sweep journal for ``run_all --resume`` and
+corrupt-row quarantine).  With a store backend every sweep registers its
+points in the journal and flips them to ``done`` as results commit.
+
+Long points can additionally auto-checkpoint: ``checkpoint_every=N``
+(plus a ``checkpoint_dir``) snapshots the live simulation every ``N``
+cycles via :mod:`repro.noc.snapshot`, and a retried or re-run point
+resumes bit-identically from its last checkpoint instead of cycle 0.
+
 Process-wide defaults come from :func:`configure` or the environment
-(``REPRO_JOBS``, ``REPRO_SWEEP_CACHE``), so harnesses can stay ignorant
-of parallelism while ``run_all --jobs N`` turns it on globally.
+(``REPRO_JOBS``, ``REPRO_SWEEP_CACHE``, ``REPRO_CHECKPOINT_EVERY``,
+``REPRO_CHECKPOINT_DIR``), so harnesses can stay ignorant of parallelism
+while ``run_all --jobs N`` turns it on globally.
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ from __future__ import annotations
 import os
 import signal
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -37,6 +52,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.point import PointResult, SweepPoint, execute_point
+from repro.exec.store import ResultStore, is_store_path
 from repro.obs.profiler import Progress
 
 _UNSET = object()
@@ -47,7 +63,10 @@ class PointTimeout(RuntimeError):
 
 
 def _execute_point_guarded(
-    point: SweepPoint, timeout_s: Optional[float]
+    point: SweepPoint,
+    timeout_s: Optional[float],
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> PointResult:
     """Run one point, optionally under a wall-clock alarm.
 
@@ -55,8 +74,29 @@ def _execute_point_guarded(
     ``SIGALRM`` where the platform has it (POSIX); elsewhere the timeout
     degrades to unenforced rather than failing.  ``execute_point`` is
     resolved through the module global at call time, so tests that
-    monkeypatch it keep working through this wrapper.
+    monkeypatch it keep working through this wrapper (the checkpoint
+    kwargs are only passed when checkpointing is actually on, for the
+    same reason).
+
+    Alarms nest correctly: the previous ``ITIMER_REAL`` (not just the
+    previous handler) is saved before arming and re-armed with its
+    remaining time afterwards, so a caller's outer deadline keeps
+    counting down across a guarded inner call.
     """
+    if os.environ.get("REPRO_CHAOS_KILL"):
+        from repro.chaos.kill import maybe_kill_self
+
+        maybe_kill_self(point)
+
+    def _run() -> PointResult:
+        if checkpoint_every is not None and checkpoint_dir is not None:
+            return execute_point(
+                point,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+            )
+        return execute_point(point)
+
     if timeout_s is not None and timeout_s > 0 and hasattr(signal, "SIGALRM"):
 
         def _alarm(signum, frame):
@@ -65,17 +105,30 @@ def _execute_point_guarded(
             )
 
         previous = signal.signal(signal.SIGALRM, _alarm)
+        outer_delay, outer_interval = signal.getitimer(signal.ITIMER_REAL)
+        armed_at = time.monotonic()
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
         try:
-            return execute_point(point)
+            return _run()
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
-    return execute_point(point)
+            if outer_delay > 0:
+                # Re-arm the outer timer with whatever budget it has
+                # left; if it expired while we ran, fire it (almost)
+                # immediately under its own restored handler.
+                remaining = outer_delay - (time.monotonic() - armed_at)
+                signal.setitimer(
+                    signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+                )
+    return _run()
 
 
 def _execute_point_timed(
-    point: SweepPoint, timeout_s: Optional[float]
+    point: SweepPoint,
+    timeout_s: Optional[float],
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> tuple:
     """Like :func:`_execute_point_guarded`, plus worker-side timing.
 
@@ -87,7 +140,9 @@ def _execute_point_timed(
     spent simulating.
     """
     start_s = time.perf_counter()
-    result = _execute_point_guarded(point, timeout_s)
+    result = _execute_point_guarded(
+        point, timeout_s, checkpoint_every, checkpoint_dir
+    )
     return result, {
         "worker": os.getpid(),
         "start_s": start_s,
@@ -145,6 +200,12 @@ class ExecDefaults:
     #: a :class:`repro.obs.manifest.SweepTelemetry` (or anything with its
     #: ``record_point`` signature); ``None`` keeps the untimed fast path.
     telemetry: Optional[object] = None
+    #: auto-checkpoint period in cycles; needs ``checkpoint_dir`` too.
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    #: journal tag recorded with each sweep on store backends, so
+    #: ``run_all --resume`` can report progress per figure.
+    sweep_tag: Optional[str] = None
 
 
 def _defaults_from_env() -> ExecDefaults:
@@ -155,7 +216,19 @@ def _defaults_from_env() -> ExecDefaults:
             jobs = max(1, int(raw))
         except ValueError:
             jobs = 1
-    return ExecDefaults(jobs=jobs, cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None)
+    checkpoint_every = None
+    raw = os.environ.get("REPRO_CHECKPOINT_EVERY")
+    if raw:
+        try:
+            checkpoint_every = max(1, int(raw))
+        except ValueError:
+            checkpoint_every = None
+    return ExecDefaults(
+        jobs=jobs,
+        cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=os.environ.get("REPRO_CHECKPOINT_DIR") or None,
+    )
 
 
 _defaults = _defaults_from_env()
@@ -166,12 +239,16 @@ def configure(
     cache_dir: object = _UNSET,
     progress: object = _UNSET,
     telemetry: object = _UNSET,
+    checkpoint_every: object = _UNSET,
+    checkpoint_dir: object = _UNSET,
+    sweep_tag: object = _UNSET,
 ) -> ExecDefaults:
     """Set engine-wide defaults; omitted arguments keep their value.
 
     ``cache_dir=None`` explicitly disables caching; a string/path enables
-    it at that directory.  Returns the resulting defaults (also handy for
-    tests to snapshot/restore).
+    it at that location (directory = loose files, ``.sqlite`` = durable
+    store).  Returns the resulting defaults (also handy for tests to
+    snapshot/restore).
     """
     if jobs is not None:
         if jobs < 1:
@@ -183,17 +260,47 @@ def configure(
         _defaults.progress = progress
     if telemetry is not _UNSET:
         _defaults.telemetry = telemetry
+    if checkpoint_every is not _UNSET:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        _defaults.checkpoint_every = checkpoint_every
+    if checkpoint_dir is not _UNSET:
+        _defaults.checkpoint_dir = (
+            str(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+    if sweep_tag is not _UNSET:
+        _defaults.sweep_tag = sweep_tag
     return _defaults
 
 
-def _resolve_cache(cache: object) -> Optional[ResultCache]:
+def _resolve_cache(cache: object) -> Union[ResultCache, ResultStore, None]:
     if cache is _UNSET:
         if _defaults.cache_dir is None:
             return None
-        return ResultCache(_defaults.cache_dir)
-    if cache is None or isinstance(cache, ResultCache):
+        cache = _defaults.cache_dir
+    if cache is None or isinstance(cache, (ResultCache, ResultStore)):
         return cache
+    if is_store_path(cache):
+        return ResultStore(cache)
     return ResultCache(cache)
+
+
+def _cache_put(cache, point: SweepPoint, result: PointResult) -> None:
+    """Write-back that never sinks a computed result.
+
+    :class:`ResultStore` already absorbs its own failures; this guards
+    the loose-file backend (and any duck-typed cache) the same way, so a
+    full disk degrades to "uncached" instead of losing the sweep.
+    """
+    try:
+        cache.put(point, result)
+    except Exception as exc:
+        warnings.warn(
+            f"cache write failed for {point.label}: "
+            f"{type(exc).__name__}: {exc}; result stays uncached"
+        )
 
 
 def run_sweep(
@@ -207,6 +314,8 @@ def run_sweep(
     retry_backoff_s: float = 0.25,
     on_error: Optional[str] = None,
     telemetry: object = _UNSET,
+    checkpoint_every: object = _UNSET,
+    checkpoint_dir: object = _UNSET,
 ) -> List[PointResult]:
     """Execute every point, returning results in input order.
 
@@ -242,11 +351,24 @@ def run_sweep(
             the configured telemetry, and ``None`` disables span
             recording entirely (the engine then submits the plain untimed
             runner -- the pre-telemetry code path, bit for bit).
+        checkpoint_every: auto-checkpoint period in simulated cycles;
+            with ``checkpoint_dir`` set, every executing point snapshots
+            its full simulation state that often and resumes from the
+            last snapshot on retry or re-run (bit-identically).  Both
+            default to the configured values (``REPRO_CHECKPOINT_EVERY``
+            / ``REPRO_CHECKPOINT_DIR``); either being ``None`` disables
+            checkpointing.
 
     Cached results come back with ``from_cache=True`` and cost zero
     simulation cycles; everything else executes and is written back to
     the cache before returning.  Failed (captured) results are never
     cached, so a re-run retries them.
+
+    On a :class:`ResultStore` backend the sweep additionally journals
+    itself: every point is registered up front and marked committed as
+    its result lands, so an interrupted sweep reports exact
+    committed/pending counts and resumes with zero recomputation of
+    committed points.
     """
     points = list(points)
     jobs = jobs if jobs is not None else _defaults.jobs
@@ -265,6 +387,24 @@ def run_sweep(
     resolved_cache = _resolve_cache(cache)
     heartbeat = _defaults.progress if progress is _UNSET else progress
     spans = _defaults.telemetry if telemetry is _UNSET else telemetry
+    ckpt_every = (
+        _defaults.checkpoint_every
+        if checkpoint_every is _UNSET
+        else checkpoint_every
+    )
+    ckpt_dir = (
+        _defaults.checkpoint_dir if checkpoint_dir is _UNSET else checkpoint_dir
+    )
+    if ckpt_every is None or ckpt_dir is None:
+        ckpt_every = ckpt_dir = None
+    else:
+        os.makedirs(ckpt_dir, exist_ok=True)
+
+    journal_id: Optional[str] = None
+    if isinstance(resolved_cache, ResultStore) and points:
+        journal_id = resolved_cache.begin_sweep(
+            points, tag=_defaults.sweep_tag
+        )
 
     started = time.perf_counter()
     done = 0
@@ -285,7 +425,9 @@ def run_sweep(
 
     def _finish(index: int, result: PointResult) -> None:
         if resolved_cache is not None and result.error is None:
-            resolved_cache.put(points[index], result)
+            _cache_put(resolved_cache, points[index], result)
+            if journal_id is not None:
+                resolved_cache.mark_committed(journal_id, points[index])
         results[index] = result
         _tick(points[index])
 
@@ -299,6 +441,8 @@ def run_sweep(
         hit = resolved_cache.get(point) if resolved_cache is not None else None
         if hit is not None:
             hit.from_cache = True
+            if journal_id is not None:
+                resolved_cache.mark_committed(journal_id, point)
             if spans is not None:
                 spans.record_point(
                     point,
@@ -322,11 +466,13 @@ def run_sweep(
             while True:
                 try:
                     if spans is None:
-                        result = _execute_point_guarded(points[index], timeout)
+                        result = _execute_point_guarded(
+                            points[index], timeout, ckpt_every, ckpt_dir
+                        )
                     else:
                         submit_s = time.perf_counter()
                         result, info = _execute_point_timed(
-                            points[index], timeout
+                            points[index], timeout, ckpt_every, ckpt_dir
                         )
                     break
                 except Exception as exc:
@@ -375,7 +521,13 @@ def run_sweep(
             try:
                 if spans is None:
                     futures = {
-                        pool.submit(_execute_point_guarded, points[index], timeout): index
+                        pool.submit(
+                            _execute_point_guarded,
+                            points[index],
+                            timeout,
+                            ckpt_every,
+                            ckpt_dir,
+                        ): index
                         for index in remaining
                     }
                     submit_times = None
@@ -389,7 +541,11 @@ def run_sweep(
                         submit_times[index] = time.perf_counter()
                         futures[
                             pool.submit(
-                                _execute_point_timed, points[index], timeout
+                                _execute_point_timed,
+                                points[index],
+                                timeout,
+                                ckpt_every,
+                                ckpt_dir,
                             )
                         ] = index
                 for future in as_completed(futures):

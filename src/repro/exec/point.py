@@ -304,32 +304,99 @@ class PointResult:
         return cls(**payload)
 
 
-def execute_point(point: SweepPoint) -> PointResult:
-    """Run one sweep point from scratch and summarize it.
+def checkpoint_path_for(point: SweepPoint, checkpoint_dir) -> "pathlib.Path":
+    """Where a point's auto-checkpoint lives (content-keyed, like the cache)."""
+    import pathlib
+
+    return pathlib.Path(checkpoint_dir) / f"{point.key()}.ckpt"
+
+
+def execute_point(
+    point: SweepPoint,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+) -> PointResult:
+    """Run one sweep point and summarize it.
 
     This is the unit of work the engine ships to pool workers, so it must
     stay a module-level (picklable) function.
+
+    With ``checkpoint_every`` and ``checkpoint_dir`` set, the run
+    auto-checkpoints every N cycles to ``<dir>/<spec-key>.ckpt`` and, if
+    such a checkpoint already exists (a previous attempt was killed or
+    timed out mid-run), *resumes* from it instead of restarting at cycle
+    0 -- with a result bit-identical to an uninterrupted run.  A corrupt,
+    truncated or incompatible checkpoint is discarded and the point
+    restarts from scratch; the checkpoint is removed once the point
+    completes.
     """
     from repro.core.merging import merge_report
     from repro.core.power import network_power_breakdown
     from repro.noc.flit import reset_packet_ids
+    from repro.noc.snapshot import SnapshotError, load_snapshot
     from repro.traffic.patterns import pattern_by_name
     from repro.traffic.runner import run_synthetic
 
-    reset_packet_ids()
-    network = point.build_network()
-    pattern = pattern_by_name(point.pattern, network.topology)
-    result = run_synthetic(
-        network,
-        pattern,
-        point.rate,
-        warmup_packets=point.warmup_packets,
-        measure_packets=point.measure_packets,
-        seed=point.seed,
-        injector=point.build_injector(network.topology.num_nodes),
-        drain_cycle_cap=point.drain_cycle_cap,
-        faults=point.faults,
-    )
+    checkpoint_path = None
+    resume_snapshot = None
+    if checkpoint_every is None or checkpoint_dir is None:
+        checkpoint_every = None
+    else:
+        checkpoint_path = checkpoint_path_for(point, checkpoint_dir)
+        checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            resume_snapshot = load_snapshot(checkpoint_path)
+        except FileNotFoundError:
+            pass
+        except (SnapshotError, OSError):
+            # Damaged checkpoint: recompute from cycle 0, never crash.
+            resume_snapshot = None
+
+    result = None
+    if resume_snapshot is not None:
+        network = resume_snapshot.network
+        pattern = pattern_by_name(point.pattern, network.topology)
+        try:
+            result = run_synthetic(
+                network,
+                pattern,
+                point.rate,
+                warmup_packets=point.warmup_packets,
+                measure_packets=point.measure_packets,
+                seed=point.seed,
+                injector=point.build_injector(network.topology.num_nodes),
+                drain_cycle_cap=point.drain_cycle_cap,
+                faults=point.faults,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_snapshot,
+            )
+        except SnapshotError:
+            # The checkpoint decoded but does not belong to this run
+            # (format drift): fall through to a from-scratch execution.
+            result = None
+    if result is None:
+        reset_packet_ids()
+        network = point.build_network()
+        pattern = pattern_by_name(point.pattern, network.topology)
+        result = run_synthetic(
+            network,
+            pattern,
+            point.rate,
+            warmup_packets=point.warmup_packets,
+            measure_packets=point.measure_packets,
+            seed=point.seed,
+            injector=point.build_injector(network.topology.num_nodes),
+            drain_cycle_cap=point.drain_cycle_cap,
+            faults=point.faults,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+    if checkpoint_path is not None:
+        try:
+            checkpoint_path.unlink()
+        except OSError:
+            pass
     stats = result.stats
     power = network_power_breakdown(network, stats)
     summary = stats.summary(network.config.frequency_ghz)

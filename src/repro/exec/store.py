@@ -1,0 +1,590 @@
+"""Durable SQLite result store: the crash-safe sweep cache backend.
+
+The loose-file :class:`~repro.exec.cache.ResultCache` keeps one JSON file
+per point; this store keeps the same content-addressed payloads in a
+single SQLite database and adds the durability features a long-running
+sweep needs:
+
+* **WAL mode, single-writer transactions** -- every ``put`` is one
+  atomic transaction, so a SIGKILL at any instant leaves either the old
+  row or the complete new one.  Readers (``get``) never block the
+  writer and vice versa.
+* **A sweep journal** -- :meth:`begin_sweep` records every point of a
+  sweep as ``pending`` and :meth:`mark_committed` flips them to ``done``
+  as results land, so an interrupted ``run_all --full`` can *report*
+  exactly which points survive (``run_all --resume``) and resumes with
+  zero recomputation of committed points.
+* **Corrupt-row quarantine** -- a row that fails its sha256 checksum,
+  schema version or spec match is moved to the ``quarantine`` table
+  inside one transaction and the point recomputes; corruption is never
+  an exception and never silently served.  Whole-file corruption (the
+  database itself no longer parses) moves the file aside to
+  ``<path>.corrupt`` and starts fresh.
+* **Schema versioning** -- ``meta.schema_version`` is checked on every
+  open; an unknown (newer) schema refuses loudly instead of guessing.
+
+The store is selected wherever a cache path is accepted (``cache=`` in
+:func:`repro.exec.engine.run_sweep`, ``REPRO_SWEEP_CACHE``) simply by
+using a path with a ``.sqlite``/``.sqlite3``/``.db`` suffix; everything
+else keeps the loose-file backend.  Results are byte-identical across
+the two backends (pinned by the golden parity tests).
+
+Migrate an existing loose-file cache with::
+
+    python -m repro.exec.store sweeps.sqlite import ~/.cache/repro-heteronoc/sweeps
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import sqlite3
+import sys
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exec.point import SPEC_VERSION, PointResult, SweepPoint
+
+#: bump when the table layout changes; opening a database with a newer
+#: schema than this build understands raises rather than corrupting it.
+STORE_SCHEMA_VERSION = 1
+
+#: path suffixes that select the SQLite store over the loose-file cache.
+STORE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    version INTEGER NOT NULL,
+    spec TEXT NOT NULL,
+    result TEXT NOT NULL,
+    checksum TEXT NOT NULL,
+    created_at TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    key TEXT,
+    payload TEXT,
+    reason TEXT NOT NULL,
+    quarantined_at TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweep_journal (
+    sweep_id TEXT NOT NULL,
+    point_key TEXT NOT NULL,
+    seq INTEGER NOT NULL,
+    label TEXT NOT NULL,
+    tag TEXT,
+    status TEXT NOT NULL DEFAULT 'pending',
+    committed_at TEXT,
+    PRIMARY KEY (sweep_id, point_key)
+);
+"""
+
+
+class StoreSchemaError(RuntimeError):
+    """The database carries a schema this build does not understand."""
+
+
+def is_store_path(path: Union[str, pathlib.Path, None]) -> bool:
+    """Whether a cache path selects the SQLite store backend."""
+    if path is None:
+        return False
+    return pathlib.Path(path).suffix.lower() in STORE_SUFFIXES
+
+
+def open_result_backend(path: Union[str, pathlib.Path]):
+    """The result backend for ``path``: :class:`ResultStore` for
+    ``.sqlite``/``.sqlite3``/``.db`` files, the loose-file
+    :class:`~repro.exec.cache.ResultCache` for directories."""
+    if is_store_path(path):
+        return ResultStore(path)
+    from repro.exec.cache import ResultCache
+
+    return ResultCache(path)
+
+
+def _now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _checksum(version: int, spec_json: str, result_json: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(str(version).encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(spec_json.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(result_json.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def sweep_id_for(
+    points: Sequence[SweepPoint], tag: Optional[str] = None
+) -> str:
+    """Deterministic identity of a sweep: its tag plus its point keys in
+    order.  A crashed sweep relaunched with the same points re-derives
+    the same id and therefore the same journal rows."""
+    digest = hashlib.sha256()
+    digest.update((tag or "").encode("utf-8"))
+    for point in points:
+        digest.update(b"\x00")
+        digest.update(point.key().encode("ascii"))
+    return digest.hexdigest()
+
+
+class ResultStore:
+    """Content-addressed, crash-safe store of :class:`PointResult` rows.
+
+    Duck-type compatible with :class:`~repro.exec.cache.ResultCache`
+    (``get`` / ``put`` / ``__len__``), plus the journal and quarantine
+    API.  Every method is defensive: database-level corruption recovers
+    by moving the file aside, row-level corruption quarantines the row
+    -- neither ever raises out of ``get``/``put``.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path).expanduser()
+        self._conn: Optional[sqlite3.Connection] = None
+
+    # -- connection management ------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is not None:
+            return self._conn
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError:
+            # The file exists but is not (or no longer) a SQLite
+            # database: move it aside and start a fresh one.
+            self._quarantine_database("database file does not parse")
+            self._conn = self._open()
+        return self._conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        stored_version = None
+        with conn:
+            conn.executescript(_SCHEMA)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES "
+                    "('schema_version', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+            else:
+                stored_version = row[0]
+        if (
+            stored_version is not None
+            and int(stored_version) != STORE_SCHEMA_VERSION
+        ):
+            conn.close()
+            raise StoreSchemaError(
+                f"{self.path} has store schema v{stored_version}, this "
+                f"build understands v{STORE_SCHEMA_VERSION}"
+            )
+        return conn
+
+    def _quarantine_database(self, reason: str) -> None:
+        """Move a hopelessly corrupt database file aside and warn."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        target = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        # WAL sidecar files belong to the dead database.
+        for suffix in ("-wal", "-shm"):
+            try:
+                pathlib.Path(f"{self.path}{suffix}").unlink()
+            except OSError:
+                pass
+        warnings.warn(
+            f"result store {self.path} is corrupt ({reason}); moved aside "
+            f"to {target.name} and starting fresh",
+            stacklevel=3,
+        )
+
+    def _recover(self, reason: str) -> None:
+        self._quarantine_database(reason)
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError:
+            self._conn = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the cache contract ---------------------------------------------------
+    def get(self, point: SweepPoint) -> Optional[PointResult]:
+        """The stored result for ``point``, or ``None`` on any miss.
+
+        A row that fails validation -- checksum, schema version, spec
+        match, JSON shape -- is moved to the quarantine table (one
+        transaction) and reported as a miss, so the engine recomputes it.
+        """
+        if os.environ.get("REPRO_CHAOS_PLAN"):
+            from repro.chaos.sites import chaos_site
+
+            try:
+                chaos_site("store.get")
+            except (OSError, MemoryError) as exc:
+                warnings.warn(f"result store read failed: {exc}")
+                return None
+        key = point.key()
+        try:
+            conn = self._connect()
+            row = conn.execute(
+                "SELECT version, spec, result, checksum FROM results "
+                "WHERE key = ?",
+                (key,),
+            ).fetchone()
+        except StoreSchemaError:
+            raise
+        except sqlite3.DatabaseError as exc:
+            self._recover(f"read failed: {exc}")
+            return None
+        if row is None:
+            return None
+        version, spec_json, result_json, checksum = row
+        try:
+            if _checksum(version, spec_json, result_json) != checksum:
+                raise ValueError("row checksum mismatch")
+            if version != SPEC_VERSION:
+                raise ValueError(f"spec version {version} != {SPEC_VERSION}")
+            if json.loads(spec_json) != point.spec_dict():
+                raise ValueError("stored spec does not match the point")
+            return PointResult.from_dict(json.loads(result_json))
+        except (ValueError, KeyError, TypeError) as exc:
+            self.quarantine_row(key, str(exc))
+            return None
+
+    def put(self, point: SweepPoint, result: PointResult) -> None:
+        """Commit ``result`` in one atomic transaction.
+
+        Never raises: a failed write (disk full, injected chaos fault,
+        concurrent corruption) is reported as a warning and the result
+        simply stays uncached -- losing a cache write must never lose a
+        computed result.
+        """
+        key = point.key()
+        spec_json = json.dumps(point.spec_dict(), sort_keys=True)
+        result_json = json.dumps(result.to_dict(), sort_keys=True)
+        try:
+            if os.environ.get("REPRO_CHAOS_PLAN"):
+                from repro.chaos.sites import chaos_site
+
+                chaos_site("store.put")
+            conn = self._connect()
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(key, version, spec, result, checksum, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        key,
+                        SPEC_VERSION,
+                        spec_json,
+                        result_json,
+                        _checksum(SPEC_VERSION, spec_json, result_json),
+                        _now(),
+                    ),
+                )
+        except StoreSchemaError:
+            raise
+        except (sqlite3.Error, OSError, MemoryError) as exc:
+            warnings.warn(
+                f"result store write failed for {point.label}: "
+                f"{type(exc).__name__}: {exc}; result stays uncached"
+            )
+
+    def __len__(self) -> int:
+        try:
+            conn = self._connect()
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        except sqlite3.DatabaseError:
+            return 0
+
+    # -- quarantine -----------------------------------------------------------
+    def quarantine_row(self, key: str, reason: str) -> None:
+        """Move one results row into the quarantine table (atomic)."""
+        try:
+            conn = self._connect()
+            with conn:
+                row = conn.execute(
+                    "SELECT version, spec, result, checksum FROM results "
+                    "WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                if row is not None:
+                    conn.execute(
+                        "INSERT INTO quarantine "
+                        "(key, payload, reason, quarantined_at) "
+                        "VALUES (?, ?, ?, ?)",
+                        (key, json.dumps(list(row)), reason, _now()),
+                    )
+                    conn.execute(
+                        "DELETE FROM results WHERE key = ?", (key,)
+                    )
+        except sqlite3.DatabaseError as exc:
+            self._recover(f"quarantine failed: {exc}")
+        warnings.warn(
+            f"result store row {key[:12]}... quarantined: {reason}; "
+            "the point will recompute"
+        )
+
+    def quarantined(self) -> List[Dict[str, str]]:
+        """The quarantine table: key, reason and timestamp per row."""
+        try:
+            conn = self._connect()
+            rows = conn.execute(
+                "SELECT key, reason, quarantined_at FROM quarantine "
+                "ORDER BY quarantined_at, key"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            return []
+        return [
+            {"key": key, "reason": reason, "quarantined_at": at}
+            for key, reason, at in rows
+        ]
+
+    # -- sweep journal --------------------------------------------------------
+    def begin_sweep(
+        self, points: Sequence[SweepPoint], tag: Optional[str] = None
+    ) -> Optional[str]:
+        """Register a sweep's points as journal rows; returns the sweep id.
+
+        Idempotent: rows already present (a resumed sweep) keep their
+        status, so committed points stay committed across a crash.
+        Journal failures degrade to ``None`` (no journal) rather than
+        blocking the sweep -- the journal is bookkeeping, not the data.
+        """
+        sweep_id = sweep_id_for(points, tag)
+        try:
+            conn = self._connect()
+            with conn:
+                conn.executemany(
+                    "INSERT OR IGNORE INTO sweep_journal "
+                    "(sweep_id, point_key, seq, label, tag, status) "
+                    "VALUES (?, ?, ?, ?, ?, 'pending')",
+                    [
+                        (sweep_id, point.key(), seq, point.label, tag)
+                        for seq, point in enumerate(points)
+                    ],
+                )
+        except sqlite3.DatabaseError as exc:
+            self._recover(f"journal write failed: {exc}")
+            return None
+        return sweep_id
+
+    def mark_committed(self, sweep_id: str, point: SweepPoint) -> None:
+        """Flip one journal row to ``done`` (atomic with its own commit;
+        the result row itself was committed by :meth:`put` just before)."""
+        try:
+            conn = self._connect()
+            with conn:
+                conn.execute(
+                    "UPDATE sweep_journal SET status = 'done', "
+                    "committed_at = ? "
+                    "WHERE sweep_id = ? AND point_key = ? "
+                    "AND status != 'done'",
+                    (_now(), sweep_id, point.key()),
+                )
+        except sqlite3.DatabaseError as exc:
+            self._recover(f"journal update failed: {exc}")
+
+    def sweep_progress(self, sweep_id: str) -> Dict[str, int]:
+        """Committed/pending counts for one sweep."""
+        try:
+            conn = self._connect()
+            rows = conn.execute(
+                "SELECT status, COUNT(*) FROM sweep_journal "
+                "WHERE sweep_id = ? GROUP BY status",
+                (sweep_id,),
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            rows = []
+        counts = dict(rows)
+        done = counts.get("done", 0)
+        total = sum(counts.values())
+        return {"total": total, "committed": done, "pending": total - done}
+
+    def journal_summary(self) -> List[Dict[str, object]]:
+        """Per-sweep progress for every journalled sweep, grouped by tag.
+
+        This is what ``run_all --resume`` prints before continuing: one
+        row per (tag, sweep id) with total/committed/pending counts and
+        the latest commit timestamp.
+        """
+        try:
+            conn = self._connect()
+            rows = conn.execute(
+                "SELECT tag, sweep_id, COUNT(*), "
+                "SUM(CASE WHEN status = 'done' THEN 1 ELSE 0 END), "
+                "MAX(committed_at) "
+                "FROM sweep_journal GROUP BY tag, sweep_id "
+                "ORDER BY tag, sweep_id"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            return []
+        return [
+            {
+                "tag": tag,
+                "sweep_id": sweep_id,
+                "total": total,
+                "committed": committed or 0,
+                "pending": total - (committed or 0),
+                "last_commit": last,
+            }
+            for tag, sweep_id, total, committed, last in rows
+        ]
+
+    # -- migration ------------------------------------------------------------
+    def import_cache(
+        self, directory: Union[str, pathlib.Path]
+    ) -> Dict[str, int]:
+        """Import a loose-file :class:`ResultCache` directory.
+
+        Every ``*.json`` entry that validates (filename matches the
+        spec's content hash, payload parses as a result) becomes one
+        store row; invalid files are counted and skipped, never fatal.
+        Existing rows win -- the store may already hold fresher results.
+        """
+        directory = pathlib.Path(directory).expanduser()
+        imported = skipped = existing = 0
+        for path in sorted(directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                version = payload["version"]
+                spec = payload["spec"]
+                result = PointResult.from_dict(payload["result"])
+                canonical = json.dumps(
+                    {"version": version, "spec": spec},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+                if key != path.stem:
+                    raise ValueError("filename does not match spec hash")
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                warnings.warn(f"skipping cache entry {path.name}: {exc}")
+                skipped += 1
+                continue
+            spec_json = json.dumps(spec, sort_keys=True)
+            result_json = json.dumps(result.to_dict(), sort_keys=True)
+            conn = self._connect()
+            with conn:
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO results "
+                    "(key, version, spec, result, checksum, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        key,
+                        version,
+                        spec_json,
+                        result_json,
+                        _checksum(version, spec_json, result_json),
+                        _now(),
+                    ),
+                )
+            if cursor.rowcount:
+                imported += 1
+            else:
+                existing += 1
+        return {
+            "imported": imported,
+            "skipped": skipped,
+            "existing": existing,
+        }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.exec.store`` -- inspect and migrate stores."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.store",
+        description="Inspect a sweep result store or import a loose-file "
+        "cache directory into it.",
+    )
+    parser.add_argument("store", help="path to the SQLite store "
+                        "(created when missing)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="row counts and journal progress")
+    sub.add_parser("quarantine", help="list quarantined rows")
+    import_parser = sub.add_parser(
+        "import", help="import a loose-file ResultCache directory"
+    )
+    import_parser.add_argument("cache_dir", help="directory of *.json "
+                               "cache entries")
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.store)
+    if args.command == "import":
+        report = store.import_cache(args.cache_dir)
+        print(
+            f"imported {report['imported']} entries from {args.cache_dir} "
+            f"({report['existing']} already present, "
+            f"{report['skipped']} skipped)"
+        )
+        return 0
+    if args.command == "quarantine":
+        rows = store.quarantined()
+        if not rows:
+            print("quarantine is empty")
+        for row in rows:
+            print(
+                f"{row['key']}  {row['quarantined_at']}  {row['reason']}"
+            )
+        return 0
+    # info
+    print(f"store: {store.path}")
+    print(f"schema: v{STORE_SCHEMA_VERSION}")
+    print(f"results: {len(store)}")
+    print(f"quarantined: {len(store.quarantined())}")
+    summary = store.journal_summary()
+    if summary:
+        print("sweeps:")
+        for row in summary:
+            print(
+                f"  {row['tag'] or '(untagged)'}  "
+                f"{row['sweep_id'][:12]}...  "
+                f"{row['committed']}/{row['total']} committed, "
+                f"{row['pending']} pending"
+            )
+    else:
+        print("sweeps: none journalled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

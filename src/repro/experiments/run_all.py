@@ -8,6 +8,10 @@ Usage::
     python -m repro.experiments.run_all --jobs 4      # parallel sweep points
     python -m repro.experiments.run_all --no-cache    # always resimulate
     python -m repro.experiments.run_all --csv out/    # also export CSVs
+    python -m repro.experiments.run_all --resume      # durable store:
+                                                      #   report journal
+                                                      #   progress, then
+                                                      #   continue
     python -m repro.experiments.run_all --obs out/    # observability demo:
                                                       #   instrumented fig01
                                                       #   run -> time series,
@@ -189,14 +193,21 @@ def _pop_flag_with_value(argv: list, flag: str):
     return argv[index + 1], argv[:index] + argv[index + 2:]
 
 
-def _configure_exec(argv: list) -> list:
-    """Apply ``--jobs N`` / ``--no-cache`` to the sweep engine defaults.
+def _configure_exec(argv: list):
+    """Apply ``--jobs N`` / ``--no-cache`` / ``--resume`` to the engine.
 
-    Returns the remaining argv.  Everything this prints goes to stderr:
-    the harness tables on stdout must stay byte-identical whatever the
-    execution backend.
+    Returns ``(argv, resume_store)`` where ``resume_store`` is the
+    durable store path when ``--resume`` was given (else ``None``).
+    Everything this prints goes to stderr: the harness tables on stdout
+    must stay byte-identical whatever the execution backend.
+
+    ``--resume`` switches the cache to the crash-safe SQLite store
+    (``sweeps.sqlite`` in the cache directory, unless the configured
+    cache path already *is* a store), so the sweep journal from an
+    interrupted run is available to report and extend.
     """
     from repro.exec import configure, default_cache_dir
+    from repro.exec.store import is_store_path
     from repro.obs.profiler import make_progress_printer
 
     jobs = None
@@ -209,6 +220,18 @@ def _configure_exec(argv: list) -> list:
     if "--no-cache" in argv:
         argv = [a for a in argv if a != "--no-cache"]
         cache_dir = None
+    resume_store = None
+    if "--resume" in argv:
+        argv = [a for a in argv if a != "--resume"]
+        if cache_dir is None:
+            raise ValueError("--resume needs the cache; drop --no-cache")
+        if is_store_path(cache_dir):
+            resume_store = cache_dir
+        else:
+            import os
+
+            resume_store = os.path.join(cache_dir, "sweeps.sqlite")
+        cache_dir = resume_store
     configure(
         jobs=jobs,
         cache_dir=cache_dir,
@@ -221,7 +244,56 @@ def _configure_exec(argv: list) -> list:
         f"cache={cache_dir if cache_dir is not None else 'off'}",
         file=sys.stderr,
     )
-    return argv
+    return argv, resume_store
+
+
+def _report_resume(store_path, names: list) -> dict:
+    """Print per-figure journal progress; returns the report dict.
+
+    Reads the sweep journal an interrupted run left in the store:
+    one line per (tag, sweep) with committed/pending point counts, so
+    the operator sees exactly how much of ``--full`` survives before
+    the suite continues (committed points replay from the store at
+    zero simulation cost).
+    """
+    from repro.exec.store import ResultStore
+
+    summary = ResultStore(store_path).journal_summary()
+    print(f"[resume] store {store_path}", file=sys.stderr)
+    if not summary:
+        print("[resume] no journalled sweeps yet", file=sys.stderr)
+    relevant = []
+    for row in summary:
+        tag = row["tag"] or "(untagged)"
+        print(
+            f"[resume] {tag}: {row['committed']}/{row['total']} points "
+            f"committed, {row['pending']} pending",
+            file=sys.stderr,
+        )
+        relevant.append(row)
+    return {
+        "store": str(store_path),
+        "sweeps": relevant,
+        "harnesses": list(names),
+    }
+
+
+def _write_resume_manifest(store_path, resume_report: dict) -> None:
+    """Record the resume event next to the store (RunManifest JSON)."""
+    from repro.obs.manifest import RunManifest
+
+    manifest = RunManifest.collect(
+        "run_all_resume",
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        config={"store": str(store_path)},
+        argv=sys.argv,
+        extra={"resume": resume_report},
+    )
+    import pathlib
+
+    path = pathlib.Path(store_path).with_suffix(".resume.json")
+    manifest.write_json(path)
+    print(f"[resume] manifest {path}", file=sys.stderr)
 
 
 def main(argv: list) -> int:
@@ -233,7 +305,7 @@ def main(argv: list) -> int:
             csv_dir, argv = _pop_flag_with_value(argv, "--csv")
         if "--obs" in argv:
             obs_dir, argv = _pop_flag_with_value(argv, "--obs")
-        argv = _configure_exec(argv)
+        argv, resume_store = _configure_exec(argv)
     except ValueError as exc:
         print(exc)
         return 2
@@ -243,13 +315,24 @@ def main(argv: list) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; choose from {sorted(HARNESSES)}")
         return 2
+    if resume_store is not None:
+        resume_report = _report_resume(resume_store, names)
+        _write_resume_manifest(resume_store, resume_report)
     suite_start = time.time()
     for done, name in enumerate(names):
         print("=" * 72)
         print(f"{name}  ({'fast' if fast else 'full'} scale)")
         print("=" * 72)
         start = time.time()
-        HARNESSES[name](fast)
+        from repro.exec import configure
+
+        # Tag this harness's sweeps in the store journal, so a later
+        # --resume reports progress per figure.
+        configure(sweep_tag=name)
+        try:
+            HARNESSES[name](fast)
+        finally:
+            configure(sweep_tag=None)
         if csv_dir and name in _EXPORTABLE:
             from repro.experiments.export import export_experiment
 

@@ -44,6 +44,7 @@ import json
 import os
 import sys
 import time
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 # Per-case FAST scale: enough traffic for a stable timing signal while the
@@ -281,9 +282,42 @@ def history_entry(
 
 
 def append_history(entry: Dict, path: str) -> None:
-    """Append one JSON line; creates the file on first use."""
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    """Append one JSON line; creates the file on first use.
+
+    The line is written with a single ``os.write`` on an ``O_APPEND``
+    descriptor: POSIX guarantees the append offset and the write are one
+    atomic step, so concurrent bench runs (or a crash mid-append) can
+    interleave whole lines but never tear one.  Buffered ``fh.write``
+    gave no such guarantee -- a signal between flushes could leave half
+    a JSON line that poisoned every later read of the file.
+    """
+    line = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+def read_history(path: str) -> List[Dict]:
+    """Parse a history file, skipping (and warning about) damaged lines.
+
+    A torn line from a pre-fix writer or a crashed machine costs that
+    one entry, not the whole trajectory.
+    """
+    entries: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping unparsable history line"
+                )
+    return entries
 
 
 def flag_regressions(
@@ -469,7 +503,8 @@ def main(argv: Optional[list] = None) -> int:
         append_history(
             history_entry(report, timestamp, git_sha()), args.history
         )
-        print(f"appended history entry to {args.history}")
+        total = len(read_history(args.history))
+        print(f"appended history entry #{total} to {args.history}")
 
     if args.out:
         with open(args.out, "w") as fh:

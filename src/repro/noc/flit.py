@@ -47,6 +47,29 @@ def reset_packet_ids() -> None:
     _packet_ids = itertools.count()
 
 
+def packet_id_marker() -> int:
+    """The next packet id that would be issued, without consuming it.
+
+    ``itertools.count`` cannot be peeked, so the counter is advanced once
+    and replaced by a fresh count starting at the observed value -- an
+    exact no-op for every later ``next()``.  Checkpointing
+    (:mod:`repro.noc.snapshot`) records this marker so a restored
+    simulation issues the same ids the uninterrupted one would.
+    """
+    global _packet_ids
+    next_id = next(_packet_ids)
+    _packet_ids = itertools.count(next_id)
+    return next_id
+
+
+def seed_packet_ids(next_id: int) -> None:
+    """Make ``next_id`` the next packet id issued (checkpoint restore)."""
+    global _packet_ids
+    if next_id < 0:
+        raise ValueError(f"next_id must be >= 0, got {next_id}")
+    _packet_ids = itertools.count(next_id)
+
+
 class FlitType(enum.Enum):
     """Position of a flit inside its packet."""
 

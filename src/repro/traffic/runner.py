@@ -25,10 +25,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.noc.network import Network
+from repro.noc.snapshot import (
+    SimSnapshot,
+    SnapshotError,
+    capture,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.noc.stats import NetworkStats
 from repro.obs.profiler import Progress, RunProfiler
 from repro.traffic.patterns import TrafficPattern
 from repro.traffic.selfsimilar import BernoulliInjector
+
+#: bump when the runner's checkpoint bookkeeping changes shape; restores
+#: refuse (and restart from cycle 0) on mismatch rather than guessing.
+CHECKPOINT_FORMAT = 1
 
 
 class DrainAccountingError(RuntimeError):
@@ -127,6 +138,9 @@ def run_synthetic(
     progress_every: int = 2000,
     faults=None,
     watchdog="auto",
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> SyntheticRunResult:
     """Drive ``network`` with an open-loop synthetic load.
 
@@ -162,6 +176,22 @@ def run_synthetic(
             environment (which also enables the invariant checks); pass
             a :class:`~repro.faults.watchdog.Watchdog` to force one, or
             ``None`` to disable.
+        checkpoint_every: take a full simulation checkpoint (see
+            :mod:`repro.noc.snapshot`) every N simulated cycles;
+            requires ``checkpoint_path``.  Checkpointing never perturbs
+            the run -- a checkpointed run is bit-identical to an
+            uncheckpointed one (pinned by ``tests/test_snapshot.py``).
+        checkpoint_path: where the (single, atomically overwritten)
+            checkpoint file lives.
+        resume_from: a :class:`~repro.noc.snapshot.SimSnapshot` or a
+            path to one.  The restored network/RNG/injector/NI state
+            *replaces* the corresponding arguments and the run continues
+            from the captured cycle, producing a result bit-identical to
+            an uninterrupted run.  The snapshot must have been taken by
+            this runner with the same rate/seed/measurement knobs.
+
+    Checkpointing and observers/profilers are mutually exclusive (a
+    snapshot cannot carry live file handles).
 
     Returns a :class:`SyntheticRunResult`; ``saturated`` is set when the
     drain phase hit its cycle cap, meaning the offered load exceeded the
@@ -172,18 +202,73 @@ def run_synthetic(
     """
     if rate <= 0:
         raise ValueError(f"rate must be positive, got {rate}")
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_path is None:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
+    if (checkpoint_every is not None or resume_from is not None) and (
+        observer is not None or profiler is not None
+    ):
+        raise ValueError(
+            "checkpointing does not support observers or profilers "
+            "(snapshots cannot carry live file handles)"
+        )
     rng = random.Random(seed)
     injector = injector or BernoulliInjector(rate)
     created = 0
     target = warmup_packets + measure_packets
     started_at = time.perf_counter()
 
+    runner_state = None
+    if resume_from is not None:
+        snapshot = (
+            resume_from
+            if isinstance(resume_from, SimSnapshot)
+            else load_snapshot(resume_from)
+        )
+        runner_state = snapshot.extra.get("runner")
+        if (
+            not isinstance(runner_state, dict)
+            or runner_state.get("format") != CHECKPOINT_FORMAT
+        ):
+            raise SnapshotError(
+                "snapshot was not taken by run_synthetic (or by an "
+                "incompatible checkpoint format)"
+            )
+        spec = {
+            "rate": rate,
+            "seed": seed,
+            "warmup_packets": warmup_packets,
+            "measure_packets": measure_packets,
+        }
+        if runner_state.get("spec") != spec:
+            raise SnapshotError(
+                f"snapshot spec {runner_state.get('spec')} does not match "
+                f"this run's {spec}; refusing to splice different runs"
+            )
+        network = snapshot.network
+        snapshot.restore_packet_ids()
+        if snapshot.rng_state is not None:
+            rng.setstate(snapshot.rng_state)
+        if snapshot.injector is not None:
+            injector = snapshot.injector
+        created = runner_state["created"]
+
     if observer is not None:
         network.attach_observer(observer)
 
     ni = None
     retransmit_timeout = None
-    if faults is not None:
+    if runner_state is not None:
+        # The NI (and the whole fault stack it belongs to) was pickled in
+        # the same payload as the network, so its references -- including
+        # ``network.on_delivery`` pointing back at it -- are already wired.
+        ni = runner_state.get("ni")
+        retransmit_timeout = runner_state.get("retransmit_timeout")
+    elif faults is not None:
         from repro.faults.injector import FaultInjector
         from repro.faults.retransmit import (
             RetransmissionManager,
@@ -209,7 +294,10 @@ def run_synthetic(
         network.on_loss = ni.on_loss
 
     repro_check = os.environ.get("REPRO_CHECK") == "1"
-    if watchdog == "auto":
+    if runner_state is not None:
+        # A resumed run keeps the watchdog that was pickled attached.
+        watchdog = network.watchdog
+    elif watchdog == "auto":
         watchdog = None
         if faults is not None or repro_check:
             from repro.faults.watchdog import Watchdog
@@ -262,8 +350,48 @@ def run_synthetic(
         lost = ni.lost_measured if ni is not None else 0
         return len(network.stats.records) + lost
 
-    network.reset_stats()
+    next_checkpoint = None
+    if checkpoint_every is not None:
+        if runner_state is not None:
+            next_checkpoint = runner_state["next_checkpoint"]
+        else:
+            next_checkpoint = network.cycle + checkpoint_every
+
+    def _save_checkpoint(phase: str, **phase_state) -> None:
+        state = {
+            "format": CHECKPOINT_FORMAT,
+            "spec": {
+                "rate": rate,
+                "seed": seed,
+                "warmup_packets": warmup_packets,
+                "measure_packets": measure_packets,
+            },
+            "phase": phase,
+            "created": created,
+            "next_checkpoint": next_checkpoint,
+            "ni": ni,
+            "retransmit_timeout": retransmit_timeout,
+        }
+        state.update(phase_state)
+        save_snapshot(
+            capture(network, rng=rng, injector=injector,
+                    extra={"runner": state}),
+            checkpoint_path,
+        )
+        if os.environ.get("REPRO_CHAOS_PLAN"):
+            from repro.chaos.sites import chaos_site
+
+            chaos_site("runner.checkpoint")
+
+    resumed_in_drain = (
+        runner_state is not None and runner_state["phase"] == "drain"
+    )
+    if runner_state is None:
+        network.reset_stats()
     while created < target:
+        if next_checkpoint is not None and network.cycle >= next_checkpoint:
+            next_checkpoint = network.cycle + checkpoint_every
+            _save_checkpoint("load")
         if ni is not None:
             ni.tick(network.cycle)
         _offer_load(
@@ -281,7 +409,12 @@ def run_synthetic(
             _heartbeat(phase, created, target)
 
     # Measurement window closes once the last measured packet is created.
-    network.end_measurement()
+    # (Unless this run resumed from a drain-phase checkpoint, in which
+    # case the window already closed before the snapshot was taken --
+    # closing it again would recompute the activity deltas over drain
+    # cycles they must not cover.)
+    if not resumed_in_drain:
+        network.end_measurement()
 
     # Drain: keep offering load so measured packets experience steady-state
     # contention on their way out.
@@ -289,10 +422,15 @@ def run_synthetic(
         profiler.enter_run_phase("drain")
     drain_deadline = network.cycle + drain_cycle_cap
     saturated = False
+    if resumed_in_drain:
+        drain_deadline = runner_state["drain_deadline"]
     while _accounted() < measure_packets:
         if network.cycle >= drain_deadline:
             saturated = True
             break
+        if next_checkpoint is not None and network.cycle >= next_checkpoint:
+            next_checkpoint = network.cycle + checkpoint_every
+            _save_checkpoint("drain", drain_deadline=drain_deadline)
         if ni is not None:
             ni.tick(network.cycle)
         _offer_load(network, pattern, injector, rng, send=send)

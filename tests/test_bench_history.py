@@ -158,3 +158,48 @@ class TestCliIntegration:
         assert "[soa] empty-4x4" in out
         entry = json.loads(history.read_text())
         assert entry["soa"]["empty-4x4"] > 0
+
+
+class TestReadHistory:
+    def test_round_trip(self, tmp_path):
+        from repro.noc.bench import read_history
+
+        path = tmp_path / "hist.jsonl"
+        append_history(history_entry(REPORT, "t1"), path)
+        append_history(history_entry(REPORT, "t2"), path)
+        entries = read_history(path)
+        assert [entry["timestamp"] for entry in entries] == ["t1", "t2"]
+
+    def test_damaged_lines_skipped_with_warning(self, tmp_path):
+        from repro.noc.bench import read_history
+
+        path = tmp_path / "hist.jsonl"
+        append_history(history_entry(REPORT, "t1"), path)
+        # A torn line (crash mid-append on a pre-O_APPEND writer) and a
+        # stray blank: each costs one entry, never the trajectory.
+        with open(path, "a") as fh:
+            fh.write('{"timestamp": "t2", "ev')
+            fh.write("\n\n")
+        append_history(history_entry(REPORT, "t3"), path)
+        with pytest.warns(UserWarning, match="unparsable history line"):
+            entries = read_history(path)
+        assert [entry["timestamp"] for entry in entries] == ["t1", "t3"]
+
+    def test_append_is_a_single_atomic_write(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        import repro.noc.bench as bench_mod
+
+        writes = []
+        real_write = os_mod.write
+
+        def spy(fd, data):
+            writes.append(bytes(data))
+            return real_write(fd, data)
+
+        monkeypatch.setattr(bench_mod.os, "write", spy)
+        path = tmp_path / "hist.jsonl"
+        append_history(history_entry(REPORT, "t1"), path)
+        assert len(writes) == 1
+        assert writes[0].endswith(b"\n")
+        assert json.loads(writes[0]) == history_entry(REPORT, "t1")

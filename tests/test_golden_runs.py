@@ -161,6 +161,34 @@ class TestProcessBackendMatchesGolden:
             assert result.to_dict() == golden[name]["result"], name
 
 
+class TestStoreBackendMatchesGolden:
+    """The durable SQLite store backend (``.sqlite`` cache path) serves
+    and stores the golden payloads exactly: store == cache-file == no
+    cache, bit for bit, computed or replayed."""
+
+    def test_store_computed_and_replayed_match_golden(self, golden, tmp_path):
+        points = list(GOLDEN_POINTS.values())
+        store_path = str(tmp_path / "golden.sqlite")
+        computed = run_sweep(points, jobs=1, cache=store_path)
+        for name, result in zip(GOLDEN_POINTS, computed):
+            assert not result.from_cache
+            assert result.to_dict() == golden[name]["result"], name
+        replayed = run_sweep(points, jobs=1, cache=store_path)
+        for name, result in zip(GOLDEN_POINTS, replayed):
+            assert result.from_cache
+            payload = result.to_dict()
+            payload.pop("from_cache", None)
+            assert payload == golden[name]["result"], name
+
+    def test_store_and_cache_file_backends_agree(self, tmp_path):
+        points = list(GOLDEN_POINTS.values())
+        via_cache = run_sweep(points, cache=str(tmp_path / "loose"))
+        via_store = run_sweep(points, cache=str(tmp_path / "golden.sqlite"))
+        assert [r.to_dict() for r in via_cache] == [
+            r.to_dict() for r in via_store
+        ]
+
+
 def _regenerate() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     payload = {

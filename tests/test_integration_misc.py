@@ -115,3 +115,26 @@ class TestRunAllCli:
         assert run_all.main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
+
+    def test_resume_reports_journal_and_writes_manifest(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv(
+            "REPRO_SWEEP_CACHE", str(tmp_path / "sweeps.sqlite")
+        )
+        # table1 runs no sweeps, so the first --resume pass sees an
+        # empty journal; the flag must still report and continue.
+        assert run_all.main(["--resume", "table1"]) == 0
+        err = capsys.readouterr().err
+        assert "[resume] no journalled sweeps yet" in err
+        manifest_path = tmp_path / "sweeps.resume.json"
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["name"] == "run_all_resume"
+        assert manifest["extra"]["resume"]["harnesses"] == ["table1"]
+
+    def test_resume_without_cache_rejected(self, capsys):
+        assert run_all.main(["--resume", "--no-cache", "table1"]) == 2
+        assert "--resume needs the cache" in capsys.readouterr().out

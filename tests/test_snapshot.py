@@ -1,0 +1,394 @@
+"""Checkpoint/restore must be bit-identical, and corruption detectable.
+
+The crash-safety contract of :mod:`repro.noc.snapshot`:
+
+* restoring a snapshot and continuing reproduces an uninterrupted run
+  *exactly* -- same deep per-cycle state digests (the differential
+  harness from ``test_kernel_differential``), same delivered-packet
+  records, for all three cycle kernels;
+* the binary container detects truncation, bit flips, bad magic and
+  format-version skew loudly (``SnapshotCorrupt`` /
+  ``SnapshotVersionMismatch``) instead of half-restoring;
+* the runner integration (``run_synthetic(checkpoint_every=...)``)
+  perturbs nothing, resumes bit-identically mid-run, and refuses
+  snapshots taken under different run parameters;
+* ``execute_point`` auto-resumes from its checkpoint and falls back to
+  scratch -- still bit-identically -- when the checkpoint is damaged.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.layouts import build_network, layout_by_name
+from repro.exec.point import SweepPoint, checkpoint_path_for, execute_point
+from repro.noc.config import NetworkConfig
+from repro.noc.flit import packet_id_marker, reset_packet_ids, seed_packet_ids
+from repro.noc.snapshot import (
+    SNAPSHOT_VERSION,
+    SimSnapshot,
+    SnapshotCorrupt,
+    SnapshotError,
+    SnapshotVersionMismatch,
+    capture,
+    dumps,
+    load_snapshot,
+    loads,
+    save_snapshot,
+)
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.runner import run_synthetic
+from tests.test_kernel_differential import _digest
+
+KERNELS = NetworkConfig.KERNELS  # ("event", "soa", "naive")
+
+
+def _fresh_network(kernel, mesh_size=4, layout="baseline"):
+    reset_packet_ids()
+    net = build_network(layout_by_name(layout, mesh_size))
+    net.use_kernel(kernel)
+    return net
+
+
+def _drive(net, rng, cycles, rate, record=None):
+    """Inject seeded random traffic and step; returns per-cycle digests."""
+    digests = []
+    num_nodes = net.topology.num_nodes
+    for _ in range(cycles):
+        for node in range(num_nodes):
+            if rng.random() < rate:
+                dst = rng.randrange(num_nodes)
+                if dst != node:
+                    net.enqueue(net.make_packet(node, dst, payload_bits=256))
+        net.step()
+        digests.append(_digest(net))
+        if record is not None:
+            record.append(_digest(net))
+    return digests
+
+
+class TestPacketIdMarker:
+    def test_marker_is_a_peek(self):
+        reset_packet_ids()
+        from repro.noc.flit import Packet
+
+        Packet(src=0, dst=1, num_flits=1, created_at=0)
+        marker = packet_id_marker()
+        assert marker == 1
+        # The marker consumed nothing: the next issued id is the marker.
+        pkt = Packet(src=0, dst=1, num_flits=1, created_at=0)
+        assert pkt.packet_id == marker
+
+    def test_seed_rewinds(self):
+        from repro.noc.flit import Packet
+
+        seed_packet_ids(41)
+        assert Packet(src=0, dst=1, num_flits=1, created_at=0).packet_id == 41
+
+    def test_seed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            seed_packet_ids(-1)
+        reset_packet_ids()
+
+
+class TestContainer:
+    def _snapshot(self):
+        net = _fresh_network("event")
+        rng = random.Random(3)
+        _drive(net, rng, 20, 0.1)
+        return capture(net, rng=rng, extra={"phase": "load"})
+
+    def test_dumps_loads_round_trip(self):
+        blob = dumps(self._snapshot())
+        snapshot = loads(blob)
+        assert isinstance(snapshot, SimSnapshot)
+        assert snapshot.extra == {"phase": "load"}
+        assert snapshot.network.cycle == 20
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        path = tmp_path / "sim.ckpt"
+        save_snapshot(self._snapshot(), path)
+        assert load_snapshot(path).network.cycle == 20
+        # No temp files left behind by the atomic write.
+        assert [p.name for p in tmp_path.iterdir()] == ["sim.ckpt"]
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "sim.ckpt"
+        save_snapshot(self._snapshot(), path)
+        data = path.read_bytes()
+        for keep in (0, 10, len(data) // 2, len(data) - 1):
+            with pytest.raises(SnapshotCorrupt):
+                loads(data[:keep])
+
+    def test_bit_flips_detected(self, tmp_path):
+        blob = dumps(self._snapshot())
+        rng = random.Random(7)
+        for _ in range(8):
+            damaged = bytearray(blob)
+            offset = rng.randrange(len(damaged))
+            damaged[offset] ^= 1 << rng.randrange(8)
+            with pytest.raises(SnapshotCorrupt):
+                loads(bytes(damaged))
+
+    def test_bad_magic_detected(self):
+        blob = dumps(self._snapshot())
+        with pytest.raises(SnapshotCorrupt, match="magic"):
+            loads(b"NOTASNAP" + blob[8:])
+
+    def test_version_skew_detected(self):
+        import struct
+
+        blob = bytearray(dumps(self._snapshot()))
+        blob[8:12] = struct.pack(">I", SNAPSHOT_VERSION + 1)
+        with pytest.raises(SnapshotVersionMismatch):
+            loads(bytes(blob))
+
+    def test_wrong_payload_type_detected(self):
+        import hashlib
+        import pickle
+        import struct
+
+        payload = pickle.dumps({"not": "a snapshot"}, protocol=4)
+        blob = (
+            struct.pack(
+                ">8sIQ32s",
+                b"RNOCSNAP",
+                SNAPSHOT_VERSION,
+                len(payload),
+                hashlib.sha256(payload).digest(),
+            )
+            + payload
+        )
+        with pytest.raises(SnapshotCorrupt, match="SimSnapshot"):
+            loads(blob)
+
+    def test_observer_refused(self):
+        from repro.obs.hooks import Observer
+
+        net = _fresh_network("event")
+        net.attach_observer(Observer())
+        with pytest.raises(SnapshotError, match="observer"):
+            capture(net)
+
+
+class TestBitIdenticalResume:
+    """The tentpole property, differentially, across all kernels."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(
+        kernel=st.sampled_from(KERNELS),
+        mesh_size=st.sampled_from([3, 4]),
+        layout=st.sampled_from(["baseline", "center+BL"]),
+        rate=st.sampled_from([0.05, 0.12]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        split=st.integers(min_value=5, max_value=40),
+    )
+    def test_capture_continue_equals_uninterrupted(
+        self, tmp_path, kernel, mesh_size, layout, rate, seed, split
+    ):
+        tail_cycles = 30
+        # Uninterrupted run: split + tail cycles of seeded traffic.
+        net = _fresh_network(kernel, mesh_size, layout)
+        rng = random.Random(seed)
+        head = _drive(net, rng, split, rate)
+        expected_tail = _drive(net, rng, tail_cycles, rate)
+
+        # Interrupted run: same head, checkpoint to disk, then scramble
+        # every piece of process state the snapshot claims to restore.
+        net = _fresh_network(kernel, mesh_size, layout)
+        rng = random.Random(seed)
+        head2 = _drive(net, rng, split, rate)
+        assert head2 == head
+        path = tmp_path / f"{kernel}.ckpt"
+        save_snapshot(capture(net, rng=rng), path)
+        seed_packet_ids(999_983)  # a restored process starts cold
+        del net, rng
+
+        snapshot = load_snapshot(path)
+        snapshot.restore_packet_ids()
+        restored_tail = _drive(
+            snapshot.network, snapshot.make_rng(), tail_cycles, rate
+        )
+        assert restored_tail == expected_tail
+
+    def test_capture_does_not_perturb_the_captured_run(self):
+        for kernel in KERNELS:
+            net = _fresh_network(kernel)
+            rng = random.Random(5)
+            plain = _drive(net, rng, 25, 0.1) + _drive(net, rng, 25, 0.1)
+
+            net = _fresh_network(kernel)
+            rng = random.Random(5)
+            first = _drive(net, rng, 25, 0.1)
+            dumps(capture(net, rng=rng))  # snapshot mid-run, keep going
+            second = _drive(net, rng, 25, 0.1)
+            assert first + second == plain, kernel
+
+
+class TestRunnerCheckpointing:
+    POINT = dict(
+        rate=0.08, warmup_packets=15, measure_packets=40, seed=11
+    )
+
+    def _network(self, kernel="event"):
+        return _fresh_network(kernel)
+
+    def _summary(self, result):
+        return (
+            [tuple(vars(record).values()) for record in result.stats.records],
+            result.total_cycles,
+            result.measured_packets,
+            result.saturated,
+            result.unfinished_measured_packets,
+        )
+
+    def test_checkpointed_run_is_unperturbed(self, tmp_path):
+        net = self._network()
+        pattern = pattern_by_name("uniform_random", net.topology)
+        plain = run_synthetic(net, pattern, **self.POINT)
+
+        net = self._network()
+        checkpointed = run_synthetic(
+            net,
+            pattern_by_name("uniform_random", net.topology),
+            checkpoint_every=20,
+            checkpoint_path=tmp_path / "run.ckpt",
+            **self.POINT,
+        )
+        assert (tmp_path / "run.ckpt").exists()
+        assert self._summary(checkpointed) == self._summary(plain)
+
+    def test_resume_from_checkpoint_matches(self, tmp_path):
+        net = self._network()
+        pattern = pattern_by_name("uniform_random", net.topology)
+        plain = run_synthetic(net, pattern, **self.POINT)
+
+        path = tmp_path / "run.ckpt"
+        net = self._network()
+        run_synthetic(
+            net,
+            pattern_by_name("uniform_random", net.topology),
+            checkpoint_every=25,
+            checkpoint_path=path,
+            **self.POINT,
+        )
+        seed_packet_ids(424_243)
+        resumed_net = _fresh_network("event")  # ignored: snapshot wins
+        resumed = run_synthetic(
+            resumed_net,
+            pattern_by_name("uniform_random", resumed_net.topology),
+            resume_from=path,
+            **self.POINT,
+        )
+        assert self._summary(resumed) == self._summary(plain)
+
+    def test_resume_rejects_mismatched_spec(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        net = self._network()
+        run_synthetic(
+            net,
+            pattern_by_name("uniform_random", net.topology),
+            checkpoint_every=25,
+            checkpoint_path=path,
+            **self.POINT,
+        )
+        other = dict(self.POINT, rate=0.2)
+        net = self._network()
+        with pytest.raises(SnapshotError, match="different run"):
+            run_synthetic(
+                net,
+                pattern_by_name("uniform_random", net.topology),
+                resume_from=path,
+                **other,
+            )
+
+    def test_checkpoint_every_requires_path(self):
+        net = self._network()
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            run_synthetic(
+                net,
+                pattern_by_name("uniform_random", net.topology),
+                checkpoint_every=10,
+                **self.POINT,
+            )
+
+
+class TestExecutePointCheckpointing:
+    POINT = SweepPoint(
+        layout="baseline",
+        mesh_size=4,
+        topology="mesh",
+        flit_mode="paper",
+        pattern="uniform_random",
+        rate=0.08,
+        seed=7,
+        warmup_packets=15,
+        measure_packets=40,
+    )
+
+    def test_checkpointed_execution_matches_and_cleans_up(self, tmp_path):
+        expected = execute_point(self.POINT).to_dict()
+        got = execute_point(
+            self.POINT, checkpoint_every=20, checkpoint_dir=tmp_path
+        ).to_dict()
+        assert got == expected
+        assert not checkpoint_path_for(self.POINT, tmp_path).exists()
+
+    def test_interrupted_point_resumes_bit_identically(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.chaos.sites import reset_chaos_sites, write_site_plan
+
+        expected = execute_point(self.POINT).to_dict()
+        plan = write_site_plan(
+            tmp_path / "plan.json",
+            {"runner.checkpoint": {"exc": "OSError", "calls": [1]}},
+        )
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(plan))
+        reset_chaos_sites()
+        with pytest.raises(OSError):
+            execute_point(
+                self.POINT, checkpoint_every=20, checkpoint_dir=tmp_path
+            )
+        monkeypatch.delenv("REPRO_CHAOS_PLAN")
+        checkpoint = checkpoint_path_for(self.POINT, tmp_path)
+        assert checkpoint.exists()
+        resumed = execute_point(
+            self.POINT, checkpoint_every=20, checkpoint_dir=tmp_path
+        ).to_dict()
+        assert resumed == expected
+        assert not checkpoint.exists()
+
+    def test_corrupt_checkpoint_falls_back_to_scratch(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.chaos.corrupt import flip_bits
+        from repro.chaos.sites import reset_chaos_sites, write_site_plan
+
+        expected = execute_point(self.POINT).to_dict()
+        plan = write_site_plan(
+            tmp_path / "plan.json",
+            {"runner.checkpoint": {"exc": "OSError", "calls": [1]}},
+        )
+        monkeypatch.setenv("REPRO_CHAOS_PLAN", str(plan))
+        reset_chaos_sites()
+        with pytest.raises(OSError):
+            execute_point(
+                self.POINT, checkpoint_every=20, checkpoint_dir=tmp_path
+            )
+        monkeypatch.delenv("REPRO_CHAOS_PLAN")
+        flip_bits(checkpoint_path_for(self.POINT, tmp_path), seed=1, flips=3)
+        recovered = execute_point(
+            self.POINT, checkpoint_every=20, checkpoint_dir=tmp_path
+        ).to_dict()
+        assert recovered == expected

@@ -1,0 +1,308 @@
+"""The durable SQLite result store: parity, atomicity, quarantine, journal.
+
+What must hold:
+
+* drop-in parity with the loose-file cache -- same results bit for bit,
+  ``run_sweep`` selects the backend purely from the cache path suffix;
+* corrupt rows are quarantined and recomputed, never served and never a
+  crash; a corrupt *file* is moved aside and the store starts fresh;
+* the sweep journal tracks committed/pending points across interrupted
+  sweeps, keyed deterministically so a relaunch re-attaches;
+* the migration CLI imports loose cache entries, skipping damaged ones.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.engine import configure, run_sweep, sweep_points
+from repro.exec.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreSchemaError,
+    is_store_path,
+    open_result_backend,
+    sweep_id_for,
+)
+
+
+def _points(n=2):
+    rates = [0.04 + 0.02 * i for i in range(n)]
+    return sweep_points(
+        ["baseline"],
+        "uniform_random",
+        rates,
+        seed=7,
+        warmup_packets=10,
+        measure_packets=30,
+        mesh_size=4,
+    )
+
+
+def _comparable(results):
+    rows = []
+    for result in results:
+        row = result.to_dict()
+        row.pop("from_cache", None)
+        rows.append(row)
+    return rows
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_defaults(monkeypatch):
+    """Pin engine defaults so the environment can't leak into tests."""
+    monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    import repro.exec.engine as engine_mod
+
+    saved = engine_mod._defaults
+    engine_mod._defaults = engine_mod.ExecDefaults()
+    yield
+    engine_mod._defaults = saved
+
+
+class TestBackendSelection:
+    def test_is_store_path(self):
+        assert is_store_path("sweeps.sqlite")
+        assert is_store_path("a/b/c.db")
+        assert is_store_path("x.SQLITE3")
+        assert not is_store_path("plain-directory")
+        assert not is_store_path(None)
+
+    def test_open_result_backend(self, tmp_path):
+        assert isinstance(
+            open_result_backend(tmp_path / "s.sqlite"), ResultStore
+        )
+        assert isinstance(open_result_backend(tmp_path / "dir"), ResultCache)
+
+    def test_run_sweep_routes_by_suffix(self, tmp_path):
+        points = _points(1)
+        run_sweep(points, cache=str(tmp_path / "s.sqlite"))
+        assert (tmp_path / "s.sqlite").exists()
+        assert len(ResultStore(tmp_path / "s.sqlite")) == 1
+
+
+class TestParityWithCache:
+    def test_store_and_cache_results_identical(self, tmp_path):
+        points = _points(2)
+        expected = _comparable(run_sweep(points, cache=None))
+        via_cache = _comparable(
+            run_sweep(points, cache=str(tmp_path / "loose"))
+        )
+        via_store = _comparable(
+            run_sweep(points, cache=str(tmp_path / "s.sqlite"))
+        )
+        assert via_cache == expected
+        assert via_store == expected
+
+    def test_hits_are_bit_identical_and_flagged(self, tmp_path):
+        points = _points(2)
+        first = run_sweep(points, cache=str(tmp_path / "s.sqlite"))
+        second = run_sweep(points, cache=str(tmp_path / "s.sqlite"))
+        assert all(r.from_cache for r in second)
+        assert not any(r.from_cache for r in first)
+        assert _comparable(first) == _comparable(second)
+
+    def test_get_put_round_trip(self, tmp_path):
+        points = _points(1)
+        [result] = run_sweep(points, cache=None)
+        store = ResultStore(tmp_path / "s.sqlite")
+        assert store.get(points[0]) is None
+        store.put(points[0], result)
+        assert len(store) == 1
+        assert store.get(points[0]).to_dict() == result.to_dict()
+
+
+class TestCorruption:
+    def _seeded_store(self, tmp_path):
+        points = _points(2)
+        run_sweep(points, cache=str(tmp_path / "s.sqlite"))
+        return points, tmp_path / "s.sqlite"
+
+    def test_checksum_mismatch_quarantines_and_recomputes(self, tmp_path):
+        points, path = self._seeded_store(tmp_path)
+        expected = _comparable(run_sweep(points, cache=None))
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE results SET result = '{\"torn\":' WHERE key = ?",
+                (points[0].key(),),
+            )
+        conn.close()
+        with pytest.warns(UserWarning, match="quarantined"):
+            recomputed = run_sweep(points, cache=str(path))
+        assert _comparable(recomputed) == expected
+        quarantined = ResultStore(path).quarantined()
+        assert [row["key"] for row in quarantined] == [points[0].key()]
+        # The quarantined row was removed from results and recomputed.
+        assert len(ResultStore(path)) == 2
+
+    def test_spec_version_skew_quarantines(self, tmp_path):
+        points, path = self._seeded_store(tmp_path)
+        store = ResultStore(path)
+        conn = store._connect()
+        row = conn.execute(
+            "SELECT spec, result FROM results WHERE key = ?",
+            (points[0].key(),),
+        ).fetchone()
+        from repro.exec.store import _checksum
+
+        with conn:
+            conn.execute(
+                "UPDATE results SET version = 999, checksum = ? "
+                "WHERE key = ?",
+                (_checksum(999, row[0], row[1]), points[0].key()),
+            )
+        with pytest.warns(UserWarning, match="spec version"):
+            assert store.get(points[0]) is None
+
+    def test_wal_survives_main_file_damage(self, tmp_path):
+        # Damage only the main database file while the WAL sidecar (all
+        # recent commits) is intact: SQLite serves every row from the
+        # WAL.  This is the crash window the store's WAL mode exists
+        # for, so pin it.
+        points, path = self._seeded_store(tmp_path)
+        assert path.with_name(path.name + "-wal").exists()
+        path.write_bytes(b"this is not a sqlite database, sorry")
+        store = ResultStore(path)
+        assert store.get(points[0]) is not None
+
+    def test_corrupt_database_file_moved_aside(self, tmp_path):
+        points, path = self._seeded_store(tmp_path)
+        path.write_bytes(b"this is not a sqlite database, sorry")
+        # Kill the WAL sidecars too: nothing left to recover from.
+        for suffix in ("-wal", "-shm"):
+            sidecar = path.with_name(path.name + suffix)
+            if sidecar.exists():
+                sidecar.unlink()
+        with pytest.warns(UserWarning, match="moved aside"):
+            store = ResultStore(path)
+            assert store.get(points[0]) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+        # And the fresh store works.
+        expected = _comparable(run_sweep(points, cache=None))
+        assert _comparable(run_sweep(points, cache=str(path))) == expected
+
+    def test_newer_schema_refused(self, tmp_path):
+        _, path = self._seeded_store(tmp_path)
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(STORE_SCHEMA_VERSION + 1),),
+            )
+        conn.close()
+        with pytest.raises(StoreSchemaError):
+            len(ResultStore(path))
+
+
+class TestJournal:
+    def test_sweep_id_deterministic_and_tag_sensitive(self):
+        points = _points(2)
+        assert sweep_id_for(points) == sweep_id_for(list(points))
+        assert sweep_id_for(points) != sweep_id_for(points[::-1])
+        assert sweep_id_for(points, tag="fig07") != sweep_id_for(points)
+
+    def test_run_sweep_journals_progress(self, tmp_path):
+        points = _points(2)
+        path = tmp_path / "s.sqlite"
+        run_sweep(points, cache=str(path))
+        store = ResultStore(path)
+        progress = store.sweep_progress(sweep_id_for(points))
+        assert progress == {"total": 2, "committed": 2, "pending": 0}
+
+    def test_interrupted_sweep_reports_pending(self, tmp_path):
+        points = _points(3)
+        path = tmp_path / "s.sqlite"
+        store = ResultStore(path)
+        sweep_id = store.begin_sweep(points, tag="fig07")
+        # Simulate a crash after one commit.
+        [result] = run_sweep(points[:1], cache=None)
+        store.put(points[0], result)
+        store.mark_committed(sweep_id, points[0])
+        progress = store.sweep_progress(sweep_id)
+        assert progress == {"total": 3, "committed": 1, "pending": 2}
+        [summary] = store.journal_summary()
+        assert summary["tag"] == "fig07"
+        assert summary["pending"] == 2
+        # The relaunched sweep re-derives the same id and completes the
+        # journal; the committed point replays from the store.
+        configure(sweep_tag="fig07")
+        try:
+            results = run_sweep(points, cache=str(path))
+        finally:
+            configure(sweep_tag=None)
+        assert results[0].from_cache
+        assert not results[1].from_cache and not results[2].from_cache
+        assert store.sweep_progress(sweep_id)["pending"] == 0
+
+    def test_cache_hits_mark_committed(self, tmp_path):
+        points = _points(2)
+        path = tmp_path / "s.sqlite"
+        run_sweep(points, cache=str(path))
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("UPDATE sweep_journal SET status = 'pending'")
+        conn.close()
+        results = run_sweep(points, cache=str(path))
+        assert all(r.from_cache for r in results)
+        store = ResultStore(path)
+        assert store.sweep_progress(sweep_id_for(points))["pending"] == 0
+
+
+class TestMigration:
+    def test_import_cache_directory(self, tmp_path):
+        points = _points(2)
+        cache_dir = tmp_path / "loose"
+        expected = _comparable(run_sweep(points, cache=str(cache_dir)))
+        # One damaged entry and one foreign file must be skipped.
+        (cache_dir / "not-a-hash.json").write_text("{'torn")
+        store_path = tmp_path / "s.sqlite"
+        store = ResultStore(store_path)
+        with pytest.warns(UserWarning, match="skipping cache entry"):
+            report = store.import_cache(cache_dir)
+        assert report["imported"] == 2
+        assert report["skipped"] == 1
+        # Imported rows serve as hits, bit-identically.
+        results = run_sweep(points, cache=str(store_path))
+        assert all(r.from_cache for r in results)
+        assert _comparable(results) == expected
+        # Re-import is a no-op.
+        report = store.import_cache(cache_dir)
+        assert report["imported"] == 0 and report["existing"] == 2
+
+    def test_cli_info_and_import(self, tmp_path, capsys):
+        from repro.exec.store import main
+
+        points = _points(1)
+        cache_dir = tmp_path / "loose"
+        run_sweep(points, cache=str(cache_dir))
+        store_path = tmp_path / "s.sqlite"
+        assert main([str(store_path), "import", str(cache_dir)]) == 0
+        assert "imported 1 entries" in capsys.readouterr().out
+        assert main([str(store_path), "info"]) == 0
+        out = capsys.readouterr().out
+        assert "results: 1" in out
+        assert main([str(store_path), "quarantine"]) == 0
+        assert "quarantine is empty" in capsys.readouterr().out
+
+
+class TestDurability:
+    def test_put_never_raises(self, tmp_path, monkeypatch):
+        points = _points(1)
+        [result] = run_sweep(points, cache=None)
+        store = ResultStore(tmp_path / "s.sqlite")
+
+        def boom(*args, **kwargs):
+            raise sqlite3.OperationalError("disk I/O error")
+
+        monkeypatch.setattr(store, "_connect", boom)
+        with pytest.warns(UserWarning, match="write failed"):
+            store.put(points[0], result)
+
+    def test_wal_mode_active(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        mode = store._connect().execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
