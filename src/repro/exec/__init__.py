@@ -20,7 +20,14 @@ same :class:`PointResult`, bit for bit.
 """
 
 from repro.exec.cache import ResultCache, default_cache_dir
-from repro.exec.engine import ExecDefaults, configure, run_sweep, sweep_points
+from repro.exec.engine import (
+    ExecDefaults,
+    PointTimeout,
+    SweepCancelled,
+    configure,
+    run_sweep,
+    sweep_points,
+)
 from repro.exec.point import (
     SPEC_VERSION,
     PointResult,
@@ -33,8 +40,10 @@ __all__ = [
     "SPEC_VERSION",
     "ExecDefaults",
     "PointResult",
+    "PointTimeout",
     "ResultCache",
     "ResultStore",
+    "SweepCancelled",
     "SweepPoint",
     "configure",
     "default_cache_dir",

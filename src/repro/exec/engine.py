@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -60,6 +61,10 @@ _UNSET = object()
 
 class PointTimeout(RuntimeError):
     """A sweep point exceeded its per-point wall-clock budget."""
+
+
+class SweepCancelled(RuntimeError):
+    """A sweep was cancelled (via ``cancel_event``) before completing."""
 
 
 def _execute_point_guarded(
@@ -97,7 +102,15 @@ def _execute_point_guarded(
             )
         return execute_point(point)
 
-    if timeout_s is not None and timeout_s > 0 and hasattr(signal, "SIGALRM"):
+    if (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        # signal handlers can only be installed from the main thread; in
+        # a worker thread (the repro.serve job server) the budget
+        # degrades to unenforced, exactly like platforms without SIGALRM.
+        and threading.current_thread() is threading.main_thread()
+    ):
 
         def _alarm(signum, frame):
             raise PointTimeout(
@@ -206,6 +219,11 @@ class ExecDefaults:
     #: journal tag recorded with each sweep on store backends, so
     #: ``run_all --resume`` can report progress per figure.
     sweep_tag: Optional[str] = None
+    #: remote-submission hook: a callable ``(points, tag=...) -> results``
+    #: (``repro.serve.client.install_submit`` wires one up).  When set,
+    #: :func:`run_sweep` ships the whole sweep to it instead of executing
+    #: locally -- the ``run_all --submit <url>`` path.
+    submit: Optional[Callable] = None
 
 
 def _defaults_from_env() -> ExecDefaults:
@@ -242,6 +260,7 @@ def configure(
     checkpoint_every: object = _UNSET,
     checkpoint_dir: object = _UNSET,
     sweep_tag: object = _UNSET,
+    submit: object = _UNSET,
 ) -> ExecDefaults:
     """Set engine-wide defaults; omitted arguments keep their value.
 
@@ -272,6 +291,8 @@ def configure(
         )
     if sweep_tag is not _UNSET:
         _defaults.sweep_tag = sweep_tag
+    if submit is not _UNSET:
+        _defaults.submit = submit
     return _defaults
 
 
@@ -316,6 +337,8 @@ def run_sweep(
     telemetry: object = _UNSET,
     checkpoint_every: object = _UNSET,
     checkpoint_dir: object = _UNSET,
+    cancel_event: Optional[object] = None,
+    submit: object = _UNSET,
 ) -> List[PointResult]:
     """Execute every point, returning results in input order.
 
@@ -358,6 +381,19 @@ def run_sweep(
             default to the configured values (``REPRO_CHECKPOINT_EVERY``
             / ``REPRO_CHECKPOINT_DIR``); either being ``None`` disables
             checkpointing.
+        cancel_event: anything with an ``is_set()`` method (a
+            ``threading.Event``); when it reports set, the sweep raises
+            :class:`SweepCancelled` instead of starting the next point
+            (serial backend) or the next retry round (process backend).
+            Results already computed and cached stay cached, so a
+            cancelled sweep resumed later recomputes nothing -- this is
+            how the :mod:`repro.serve` job server aborts a running job.
+        submit: remote-submission hook ``(points, tag=...) -> results``;
+            defaults to the configured one (``configure(submit=...)``),
+            ``None`` forces local execution.  When active, the *entire*
+            sweep -- cache lookups included -- is delegated to the hook
+            (a shared job server owns the store), and the results come
+            back in input order, bit-identical to local serial execution.
 
     Cached results come back with ``from_cache=True`` and cost zero
     simulation cycles; everything else executes and is written back to
@@ -371,6 +407,26 @@ def run_sweep(
     committed points.
     """
     points = list(points)
+    submit_hook = _defaults.submit if submit is _UNSET else submit
+    if submit_hook is not None and points:
+        results = submit_hook(points, tag=_defaults.sweep_tag)
+        if len(results) != len(points):
+            raise RuntimeError(
+                f"submit hook returned {len(results)} results for "
+                f"{len(points)} points"
+            )
+        heartbeat = _defaults.progress if progress is _UNSET else progress
+        if heartbeat is not None:
+            heartbeat(
+                Progress(
+                    phase="sweep",
+                    cycle=0,
+                    done=len(points),
+                    target=len(points),
+                    elapsed_s=0.0,
+                )
+            )
+        return results
     jobs = jobs if jobs is not None else _defaults.jobs
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -435,6 +491,12 @@ def run_sweep(
         if retry_backoff_s > 0:
             time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
 
+    def _check_cancelled() -> None:
+        if cancel_event is not None and cancel_event.is_set():
+            raise SweepCancelled(
+                f"sweep cancelled after {done}/{len(points)} points"
+            )
+
     results: List[Optional[PointResult]] = [None] * len(points)
     pending: List[int] = []
     for index, point in enumerate(points):
@@ -459,6 +521,7 @@ def run_sweep(
 
     if backend == "serial" or len(pending) <= 1:
         for index in pending:
+            _check_cancelled()
             attempt = 0
             info = None
             error = None
@@ -514,6 +577,7 @@ def run_sweep(
         round_no = 0
         attempts_so_far: Dict[int, int] = {}
         while remaining:
+            _check_cancelled()
             errors: Dict[int, str] = {}
             failed: List[int] = []
             workers = min(jobs, len(remaining))

@@ -50,7 +50,12 @@ from repro.exec.point import SPEC_VERSION, PointResult, SweepPoint
 
 #: bump when the table layout changes; opening a database with a newer
 #: schema than this build understands raises rather than corrupting it.
-STORE_SCHEMA_VERSION = 1
+#: v1 -> v2 added the ``jobs`` table (the :mod:`repro.serve` priority
+#: queue); the change is purely additive, so v1 files migrate in place.
+STORE_SCHEMA_VERSION = 2
+
+#: schema versions this build can upgrade in place on open.
+_MIGRATABLE_VERSIONS = (1,)
 
 #: path suffixes that select the SQLite store over the loose-file cache.
 STORE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
@@ -84,6 +89,21 @@ CREATE TABLE IF NOT EXISTS sweep_journal (
     committed_at TEXT,
     PRIMARY KEY (sweep_id, point_key)
 );
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    state TEXT NOT NULL DEFAULT 'queued',
+    priority INTEGER NOT NULL DEFAULT 0,
+    tag TEXT,
+    client TEXT,
+    points TEXT NOT NULL,
+    point_keys TEXT NOT NULL,
+    submitted_at TEXT NOT NULL,
+    started_at TEXT,
+    finished_at TEXT,
+    worker TEXT,
+    error TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, priority DESC);
 """
 
 
@@ -184,6 +204,18 @@ class ResultStore:
                 )
             else:
                 stored_version = row[0]
+            if (
+                stored_version is not None
+                and int(stored_version) in _MIGRATABLE_VERSIONS
+            ):
+                # Additive migration: executescript above already created
+                # any table the old schema lacked, so upgrading is just
+                # recording the new version (same transaction).
+                conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+                stored_version = STORE_SCHEMA_VERSION
         if (
             stored_version is not None
             and int(stored_version) != STORE_SCHEMA_VERSION
@@ -229,6 +261,17 @@ class ResultStore:
             self._conn = self._open()
         except sqlite3.DatabaseError:
             self._conn = None
+
+    def connection(self) -> sqlite3.Connection:
+        """The live SQLite connection (opening/recovering as needed).
+
+        For layers that extend the store's schema with their own queries
+        -- :class:`repro.serve.jobs.JobQueue` runs its claim/finish
+        transactions through this.  The connection is bound to the thread
+        that first uses this store instance; give each thread its own
+        :class:`ResultStore` instead of sharing one.
+        """
+        return self._connect()
 
     def close(self) -> None:
         if self._conn is not None:
@@ -468,6 +511,43 @@ class ResultStore:
             for tag, sweep_id, total, committed, last in rows
         ]
 
+    def tag_progress(self) -> List[Dict[str, object]]:
+        """Journal progress aggregated per sweep tag.
+
+        One row per tag (``run_all`` tags sweeps with the harness name),
+        summing committed/total across every journalled sweep carrying
+        that tag -- the ``info`` CLI's per-figure progress report.
+        """
+        try:
+            conn = self._connect()
+            rows = conn.execute(
+                "SELECT tag, COUNT(*), "
+                "SUM(CASE WHEN status = 'done' THEN 1 ELSE 0 END) "
+                "FROM sweep_journal GROUP BY tag ORDER BY tag"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            return []
+        return [
+            {
+                "tag": tag,
+                "total": total,
+                "committed": committed or 0,
+                "pending": total - (committed or 0),
+            }
+            for tag, total, committed in rows
+        ]
+
+    def job_counts(self) -> Dict[str, int]:
+        """Jobs-table row counts per state (empty when no jobs exist)."""
+        try:
+            conn = self._connect()
+            rows = conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            return {}
+        return dict(rows)
+
     # -- migration ------------------------------------------------------------
     def import_cache(
         self, directory: Union[str, pathlib.Path]
@@ -571,6 +651,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"schema: v{STORE_SCHEMA_VERSION}")
     print(f"results: {len(store)}")
     print(f"quarantined: {len(store.quarantined())}")
+    by_tag = store.tag_progress()
+    if by_tag:
+        print("progress by tag:")
+        for row in by_tag:
+            print(
+                f"  {row['tag'] or '(untagged)'}  "
+                f"{row['committed']}/{row['total']} committed, "
+                f"{row['pending']} pending"
+            )
     summary = store.journal_summary()
     if summary:
         print("sweeps:")
@@ -583,6 +672,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     else:
         print("sweeps: none journalled")
+    jobs = store.job_counts()
+    if jobs:
+        states = ", ".join(
+            f"{count} {state}" for state, count in sorted(jobs.items())
+        )
+        print(f"jobs: {states}")
     return 0
 
 

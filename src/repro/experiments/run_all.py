@@ -16,6 +16,12 @@ Usage::
                                                       #   instrumented fig01
                                                       #   run -> time series,
                                                       #   trace, profile
+    python -m repro.experiments.run_all --list        # enumerate harnesses
+                                                      #   and their sweep tags
+    python -m repro.experiments.run_all --submit http://host:8923 fig07
+                                        # ship sweeps to a repro.serve
+                                        # job server instead of running
+                                        # them locally
 
 Sweep-style harnesses submit their points through :mod:`repro.exec`:
 ``--jobs N`` fans independent points out over N worker processes
@@ -189,7 +195,7 @@ def _pop_flag_with_value(argv: list, flag: str):
     """Remove ``flag VALUE`` from argv; returns (value, argv) or raises."""
     index = argv.index(flag)
     if index + 1 >= len(argv):
-        raise ValueError(f"{flag} needs a directory argument")
+        raise ValueError(f"{flag} needs a value argument")
     return argv[index + 1], argv[:index] + argv[index + 2:]
 
 
@@ -296,19 +302,49 @@ def _write_resume_manifest(store_path, resume_report: dict) -> None:
     print(f"[resume] manifest {path}", file=sys.stderr)
 
 
+def _list_harnesses() -> int:
+    """Print the harness table: name, sweep tag, CSV export support.
+
+    Every harness journals its sweeps under a tag equal to its own name
+    (that is what ``--resume`` reports against and what shows up in
+    ``python -m repro.exec <store> info`` and in job-server tags).
+    """
+    width = max(len(name) for name in HARNESSES)
+    print(f"{'harness':<{width}}  {'sweep tag':<{width}}  csv")
+    for name in HARNESSES:
+        csv = "yes" if name in _EXPORTABLE else "-"
+        print(f"{name:<{width}}  {name:<{width}}  {csv}")
+    return 0
+
+
 def main(argv: list) -> int:
     fast = "--full" not in argv
+    if "--list" in argv:
+        return _list_harnesses()
     csv_dir = None
     obs_dir = None
+    submit_url = None
     try:
         if "--csv" in argv:
             csv_dir, argv = _pop_flag_with_value(argv, "--csv")
         if "--obs" in argv:
             obs_dir, argv = _pop_flag_with_value(argv, "--obs")
+        if "--submit" in argv:
+            submit_url, argv = _pop_flag_with_value(argv, "--submit")
         argv, resume_store = _configure_exec(argv)
     except ValueError as exc:
         print(exc)
         return 2
+    if submit_url is not None:
+        from repro.serve.client import ServeClient, ServeError, install_submit
+
+        try:
+            ServeClient(submit_url).health()
+        except (ServeError, ValueError) as exc:
+            print(f"--submit {submit_url}: {exc}")
+            return 2
+        install_submit(submit_url, client="run_all")
+        print(f"[exec] submitting sweeps to {submit_url}", file=sys.stderr)
     selected = [a for a in argv if not a.startswith("-")]
     names = selected or list(HARNESSES)
     unknown = [n for n in names if n not in HARNESSES]

@@ -29,7 +29,8 @@ skip, ``--timestamp`` to inject a reproducible stamp), so the perf
 trajectory accumulates across commits instead of each run overwriting
 the last; and when the ``--baseline`` report (default
 ``BENCH_kernel.json``) exists, cases that regressed past ``--tolerance``
-are flagged on stdout.
+are flagged on stdout and the run exits 1 (history and ``--out``
+artifacts are still written first, so the regression evidence lands).
 
 The committed ``BENCH_kernel.json`` additionally embeds a
 ``seed_baseline`` section: the same matrix measured at the commit *before*
@@ -481,7 +482,9 @@ def main(argv: Optional[list] = None) -> int:
             f"{fig07_soa['speedup_vs_event']:.2f}x"
         )
     # Regression flags against the committed baseline (read before --out
-    # can overwrite it).
+    # can overwrite it).  A flagged case fails the run -- after the
+    # history/report artifacts are written, so the evidence survives.
+    flagged = []
     if args.baseline and os.path.exists(args.baseline):
         with open(args.baseline) as fh:
             baseline_event = json.load(fh).get("event", {})
@@ -511,7 +514,7 @@ def main(argv: Optional[list] = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
-    return 0
+    return 1 if flagged else 0
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "KernelMetrics",
+    "ServeMetrics",
 ]
 
 
@@ -188,6 +189,87 @@ class MetricsRegistry:
 
 _OCCUPANCY_BUCKETS = (0.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
 _LATENCY_BUCKETS = (10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0)
+
+_WALL_BUCKETS_S = (0.01, 0.05, 0.25, 1.0, 5.0, 25.0, 120.0, 600.0)
+
+
+class ServeMetrics:
+    """Instruments for the :mod:`repro.serve` job server.
+
+    Lives on a :class:`MetricsRegistry`, so ``GET /metrics`` is just
+    :meth:`MetricsRegistry.snapshot`.  Wall-clock latency histograms use
+    log-spaced buckets from 10 ms to 10 min (sweep points span that whole
+    range between fast-scale and ``--full``).
+
+    Worker utilization is derived, not sampled: each worker accumulates
+    busy-seconds into a counter, and :meth:`derived` divides by
+    ``workers x uptime``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self.jobs_submitted = reg.counter("serve.jobs_submitted")
+        self.jobs_deduped = reg.counter("serve.jobs_deduped")
+        self.points_executed = reg.counter("serve.points_executed")
+        self.point_cache_hits = reg.counter("serve.point_cache_hits")
+        self.point_inflight_joins = reg.counter("serve.point_inflight_joins")
+        self.point_errors = reg.counter("serve.point_errors")
+        self.http_requests = reg.counter("serve.http_requests")
+        self.http_errors = reg.counter("serve.http_errors")
+        self.job_latency = reg.histogram("serve.job_latency_s", _WALL_BUCKETS_S)
+        self.point_latency = reg.histogram(
+            "serve.point_latency_s", _WALL_BUCKETS_S
+        )
+        self._jobs_finished: Dict[str, Counter] = {}
+        self._worker_busy: Dict[int, Counter] = {}
+
+    def job_finished(self, state: str, latency_s: float) -> None:
+        counter = self._jobs_finished.get(state)
+        if counter is None:
+            counter = self.registry.counter("serve.jobs_finished", state=state)
+            self._jobs_finished[state] = counter
+        counter.inc()
+        self.job_latency.observe(latency_s)
+
+    def worker_busy(self, worker: int, busy_s: float) -> None:
+        counter = self._worker_busy.get(worker)
+        if counter is None:
+            counter = self.registry.counter("serve.worker_busy_s",
+                                            worker=worker)
+            self._worker_busy[worker] = counter
+        counter.value += busy_s
+
+    def observe_queue(self, counts: Dict[str, int]) -> None:
+        """Record jobs-table state counts as queue-depth gauges."""
+        for state in ("queued", "running", "done", "failed", "cancelled"):
+            self.registry.gauge("serve.queue_depth", state=state).set(
+                counts.get(state, 0)
+            )
+
+    def derived(self, workers: int, uptime_s: float) -> Dict[str, float]:
+        """Ratios the raw instruments imply (dedup rate, utilization)."""
+        submitted = self.jobs_submitted.value + self.jobs_deduped.value
+        served = (
+            self.points_executed.value
+            + self.point_cache_hits.value
+            + self.point_inflight_joins.value
+        )
+        busy = sum(c.value for c in self._worker_busy.values())
+        return {
+            "job_dedup_rate": (
+                self.jobs_deduped.value / submitted if submitted else 0.0
+            ),
+            "point_cache_hit_rate": (
+                (served - self.points_executed.value) / served
+                if served else 0.0
+            ),
+            "worker_utilization": (
+                busy / (workers * uptime_s)
+                if workers > 0 and uptime_s > 0 else 0.0
+            ),
+            "uptime_s": uptime_s,
+        }
 
 
 class KernelMetrics(Observer):

@@ -1,0 +1,35 @@
+"""The always-on sweep job server: queue, server, client, smoke.
+
+Turns the batch sweep engine into a shared service::
+
+    python -m repro.serve --store results.sqlite --port 8923
+
+Many clients submit placement-search and sweep jobs against one durable
+store; the server dedups content-addressed work, executes with the
+engine's hardening, streams progress, and survives SIGKILL mid-sweep
+with zero lost or duplicated points.
+
+* :class:`~repro.serve.jobs.JobQueue` -- the persistent priority queue
+  (store schema v2 ``jobs`` table);
+* :class:`~repro.serve.server.SweepServer` -- asyncio HTTP/JSON API and
+  the worker pool;
+* :class:`~repro.serve.client.ServeClient` /
+  :func:`~repro.serve.client.install_submit` -- the stdlib client and
+  the ``run_all --submit <url>`` hook;
+* :func:`~repro.serve.smoke.run_serve_smoke` -- the CI crash/resume
+  scenario (serial baseline == served results, across a SIGKILL).
+"""
+
+from repro.serve.client import ServeClient, ServeError, install_submit
+from repro.serve.jobs import JOB_STATES, JobQueue, job_id_for
+from repro.serve.server import SweepServer
+
+__all__ = [
+    "JOB_STATES",
+    "JobQueue",
+    "ServeClient",
+    "ServeError",
+    "SweepServer",
+    "install_submit",
+    "job_id_for",
+]

@@ -118,13 +118,18 @@ class TestCliIntegration:
         assert not history.exists()
         assert "appended history entry" not in out
 
-    def test_regression_flags_against_baseline(self, run, tmp_path):
+    def test_regression_flags_against_baseline_and_fails(self, run, tmp_path):
+        """A flagged case exits 1 (CI-visible), after the artifacts land."""
         fast = {"event": {"empty-4x4": {"cycles_per_s": 1e12}}}
         baseline = tmp_path / "base.json"
         baseline.write_text(json.dumps(fast))
-        code, out, _ = run("--no-history", "--baseline", str(baseline))
-        assert code == 0
+        code, out, history = run("--baseline", str(baseline))
+        assert code == 1
         assert "REGRESSION" in out and "empty-4x4" in out
+        # The history entry was still appended: the regression run is
+        # itself evidence, not something to discard.
+        assert history.exists()
+        assert "appended history entry" in out
 
     def test_clean_run_reports_no_regressions(self, run, tmp_path):
         slow = {"event": {"empty-4x4": {"cycles_per_s": 0.001}}}

@@ -102,3 +102,41 @@ class TestRefinePlacements:
             expected = evaluator.evaluate(record["big_positions"])
             assert record["analytic_score"] == expected.analytic
             assert record["scalar_score"] == expected.scalar
+
+
+class TestSubmitRefinement:
+    def test_server_refinement_matches_local(self, tmp_path):
+        """submit_refinement -> collect_refinement returns the same
+        ranked records as a local refine_placements of the same
+        candidates, and a resubmission dedups onto the finished job."""
+        from repro.search.refine import collect_refinement, submit_refinement
+        from repro.serve import SweepServer
+
+        local = refine_placements(
+            CANDIDATES, 4, rate=0.05, measure_packets=120, cache=None
+        )
+        server = SweepServer(tmp_path / "s.sqlite", port=0, workers=2)
+        server.start()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            submitted = submit_refinement(
+                url, CANDIDATES, 4, rate=0.05, measure_packets=120
+            )
+            assert not submitted["deduped"]
+            records = collect_refinement(
+                url, submitted["job_id"], CANDIDATES, mesh_size=4
+            )
+            assert _strip_cache_flag(records) == _strip_cache_flag(local)
+            again = submit_refinement(
+                url, CANDIDATES, 4, rate=0.05, measure_packets=120
+            )
+            assert again["deduped"]
+            assert again["job_id"] == submitted["job_id"]
+        finally:
+            server.stop()
+
+    def test_collect_needs_mesh_size_or_evaluator(self):
+        from repro.search.refine import collect_refinement
+
+        with pytest.raises(ValueError, match="mesh_size or evaluator"):
+            collect_refinement("http://127.0.0.1:1", "job", CANDIDATES)

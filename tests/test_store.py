@@ -289,6 +289,150 @@ class TestMigration:
         assert "quarantine is empty" in capsys.readouterr().out
 
 
+class TestSchemaV2:
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        points = _points(2)
+        path = tmp_path / "s.sqlite"
+        run_sweep(points, cache=str(path))
+        # Rewind the file to schema v1: no jobs table, version stamp 1.
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("DROP TABLE jobs")
+            conn.execute(
+                "UPDATE meta SET value = '1' WHERE key = 'schema_version'"
+            )
+        conn.close()
+        store = ResultStore(path)
+        # The migration is additive: results survive, the jobs table is
+        # back, and the version stamp is current.
+        assert store.get(points[0]) is not None
+        assert store.job_counts() == {}
+        stamped = store._connect().execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()[0]
+        assert stamped == str(STORE_SCHEMA_VERSION)
+
+    def test_migrated_store_serves_the_job_queue(self, tmp_path):
+        from repro.serve import JobQueue
+
+        points = _points(1)
+        path = tmp_path / "s.sqlite"
+        run_sweep(points, cache=str(path))
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute("DROP TABLE jobs")
+            conn.execute(
+                "UPDATE meta SET value = '1' WHERE key = 'schema_version'"
+            )
+        conn.close()
+        queue = JobQueue(path)
+        job_id, deduped = queue.submit(points, tag="fig07")
+        assert not deduped
+        assert queue.store.job_counts() == {"queued": 1}
+        # The point is already in the store (the pre-migration sweep),
+        # but the job's own journal starts pending: a worker commits it
+        # by replaying the row, never by recomputing.
+        assert queue.get(job_id)["progress"] == {
+            "total": 1, "committed": 0, "pending": 1,
+        }
+
+    def test_tag_progress_aggregates_across_sweeps(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        first, second, third = _points(3)
+        # Two sweeps under one tag, one untagged sweep.
+        sweep_a = store.begin_sweep([first, second], tag="fig07")
+        store.begin_sweep([third], tag="fig07")
+        store.begin_sweep([first])
+        [result] = run_sweep([first], cache=None)
+        store.put(first, result)
+        store.mark_committed(sweep_a, first)
+        rows = {row["tag"]: row for row in store.tag_progress()}
+        assert rows["fig07"] == {
+            "tag": "fig07", "total": 3, "committed": 1, "pending": 2,
+        }
+        assert rows[None]["total"] == 1 and rows[None]["committed"] == 0
+
+    def test_info_cli_reports_tags_and_jobs(self, tmp_path, capsys):
+        from repro.exec.store import main
+        from repro.serve import JobQueue
+
+        points = _points(2)
+        path = tmp_path / "s.sqlite"
+        configure(sweep_tag="fig07")
+        try:
+            run_sweep(points, cache=str(path))
+        finally:
+            configure(sweep_tag=None)
+        queue = JobQueue(path)
+        queue.submit(points, tag="fig07")
+        done_id, _ = queue.submit(_points(1), tag="other")
+        queue.claim("w")
+        assert main([str(path), "info"]) == 0
+        out = capsys.readouterr().out
+        assert "progress by tag:" in out
+        assert "fig07  2/2 committed, 0 pending" in out
+        assert "jobs: 1 queued, 1 running" in out
+
+
+def _stress_writer(store_path, rates):
+    """Child-process body for the concurrent-writer stress test."""
+    points = sweep_points(
+        ["baseline"],
+        "uniform_random",
+        rates,
+        seed=7,
+        warmup_packets=10,
+        measure_packets=30,
+        mesh_size=4,
+    )
+    run_sweep(points, cache=store_path)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_share_one_store(self, tmp_path):
+        """Two writer processes, one store file, overlapping points.
+
+        WAL mode plus the 30 s busy timeout must serialize the commits:
+        no corruption, no quarantined rows, every stored result
+        bit-identical to a serial recompute, both journals complete --
+        and the shared point (rate 0.06) lands exactly once.
+        """
+        import multiprocessing
+
+        path = tmp_path / "s.sqlite"
+        rates_a = [0.04, 0.05, 0.06]
+        rates_b = [0.06, 0.07, 0.08]  # overlaps rates_a at 0.06
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(target=_stress_writer, args=(str(path), rates))
+            for rates in (rates_a, rates_b)
+        ]
+        for proc in writers:
+            proc.start()
+        for proc in writers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        all_points = sweep_points(
+            ["baseline"],
+            "uniform_random",
+            [0.04, 0.05, 0.06, 0.07, 0.08],
+            seed=7,
+            warmup_packets=10,
+            measure_packets=30,
+            mesh_size=4,
+        )
+        store = ResultStore(path)
+        assert len(store) == len(all_points)
+        assert store.quarantined() == []
+        expected = _comparable(run_sweep(all_points, cache=None))
+        stored = _comparable(
+            [store.get(point) for point in all_points]
+        )
+        assert stored == expected
+        for row in store.journal_summary():
+            assert row["pending"] == 0
+
+
 class TestDurability:
     def test_put_never_raises(self, tmp_path, monkeypatch):
         points = _points(1)
