@@ -18,6 +18,11 @@ Usage::
                                                       #   trace, profile
     python -m repro.experiments.run_all --list        # enumerate harnesses
                                                       #   and their sweep tags
+    python -m repro.experiments.run_all --kernel c    # force a cycle kernel
+                                        # (event, soa, naive or c) for every
+                                        # harness via REPRO_KERNEL; all
+                                        # kernels are bit-identical, so this
+                                        # changes wall-clock only
     python -m repro.experiments.run_all --submit http://host:8923 fig07
                                         # ship sweeps to a repro.serve
                                         # job server instead of running
@@ -309,16 +314,39 @@ def _list_harnesses() -> int:
     (that is what ``--resume`` reports against and what shows up in
     ``python -m repro.exec <store> info`` and in job-server tags).
     """
+    import os
+
     width = max(len(name) for name in HARNESSES)
     print(f"{'harness':<{width}}  {'sweep tag':<{width}}  csv")
     for name in HARNESSES:
         csv = "yes" if name in _EXPORTABLE else "-"
         print(f"{name:<{width}}  {name:<{width}}  {csv}")
+    print(f"cycle kernel: {os.environ.get('REPRO_KERNEL', 'event')}")
     return 0
 
 
 def main(argv: list) -> int:
     fast = "--full" not in argv
+    if "--kernel" in argv:
+        import os
+
+        from repro.noc.config import NetworkConfig
+
+        try:
+            value, argv = _pop_flag_with_value(argv, "--kernel")
+        except ValueError as exc:
+            print(exc)
+            return 2
+        if value not in NetworkConfig.KERNELS:
+            print(
+                f"--kernel must be one of {list(NetworkConfig.KERNELS)}, "
+                f"got {value!r}"
+            )
+            return 2
+        # REPRO_KERNEL reaches every network the harnesses (and any
+        # --jobs worker processes) construct; the harness tables stay
+        # byte-identical because all kernels are bit-identical.
+        os.environ["REPRO_KERNEL"] = value
     if "--list" in argv:
         return _list_harnesses()
     csv_dir = None

@@ -1,0 +1,1123 @@
+/* Compiled cycle kernel over the structure-of-arrays layout.
+ *
+ * This file is compiled on demand by repro.noc.ckernel with the system C
+ * compiler (cc -O2 -shared -fPIC) and loaded through ctypes; keep it
+ * dependency-free C99 with an int64-only FFI surface.
+ *
+ * The kernel owns a full copy of the dynamic simulation state -- per-lane
+ * scalars and bitmasks (the SoaKernel layout), flit queues as fixed rings
+ * of (packet handle, flit index, ready_at), per-node source queues,
+ * arrival/credit calendars, activity-counter deltas and a completion
+ * buffer -- and advances it one clock cycle per ck_step() call.  The
+ * phase order, iteration orders, arbitration pointer updates and counter
+ * increments replicate repro.noc.soa.SoaKernel.step() exactly: every
+ * divergence would show in the four-way differential digests.
+ *
+ * Packets and flits cross the FFI as integer handles/indices; the Python
+ * wrapper keeps the handle -> Packet table and rebuilds Flit objects on
+ * sync().  All arrays are exposed through ck_arr()/ck_get()/ck_set()
+ * accessors so no struct layout is shared with ctypes.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+typedef uint64_t u64;
+
+/* ---- growable i64 buffer ------------------------------------------------ */
+typedef struct {
+    i64 *buf;
+    i64 cap;
+    i64 len;
+} Vec;
+
+static int vec_push(Vec *v, i64 x) {
+    if (v->len == v->cap) {
+        i64 nc = v->cap ? v->cap * 2 : 16;
+        i64 *nb = (i64 *)realloc(v->buf, (size_t)nc * sizeof(i64));
+        if (!nb)
+            return -1;
+        v->buf = nb;
+        v->cap = nc;
+    }
+    v->buf[v->len++] = x;
+    return 0;
+}
+
+/* ---- growable ring of i64 (source queues) ------------------------------- */
+typedef struct {
+    i64 *buf;
+    i64 cap;
+    i64 head;
+    i64 len;
+} Ring;
+
+static int ring_push(Ring *r, i64 x) {
+    if (r->len == r->cap) {
+        i64 nc = r->cap ? r->cap * 2 : 16;
+        i64 *nb = (i64 *)malloc((size_t)nc * sizeof(i64));
+        if (!nb)
+            return -1;
+        for (i64 i = 0; i < r->len; i++)
+            nb[i] = r->buf[(r->head + i) % r->cap];
+        free(r->buf);
+        r->buf = nb;
+        r->cap = nc;
+        r->head = 0;
+    }
+    r->buf[(r->head + r->len) % r->cap] = x;
+    r->len++;
+    return 0;
+}
+
+static i64 ring_pop(Ring *r) {
+    i64 x = r->buf[r->head];
+    r->head = (r->head + 1) % r->cap;
+    r->len--;
+    return x;
+}
+
+/* ---- array / scalar ids (mirror repro.noc.ckernel exactly) -------------- */
+enum {
+    A_NPORTS = 0, A_NVCS, A_DEPTH, A_EJ_PMASK, A_EJ_LANES, A_HAS_WIDE,
+    A_ROUTE_TAB, A_OVC_CNT, A_CEIL, A_SLANES,
+    A_LINK_R, A_LINK_P, A_LINK_DELAY, A_LINK_LANES, A_UP_R, A_UP_P,
+    A_NODE_RID, A_NODE_PORT, A_NODE_LANES,
+    A_ST_PID, A_ST_ROUTE, A_ST_OUTVC, A_NEED, A_CRED, A_OWNER,
+    A_OCC, A_AM, A_CREDOK, A_IN_NEXT, A_OUT_NEXT, A_SEC_NEXT,
+    A_NVA, A_OCCUPIED, A_VA_OFF,
+    A_ACTW, A_SRCW,
+    A_QS_PKT, A_QS_SEQ, A_QS_READY, A_QHEAD, A_QLEN,
+    A_SRC_PKT, A_SRC_NEXT, A_SRC_VC,
+    A_BW, A_BR, A_XB, A_RC, A_VA, A_ARB, A_CF, A_CS, A_MG, A_OC,
+    A_LF, A_LB,
+    A_PK_ID, A_PK_SRC, A_PK_DST, A_PK_NFLITS, A_PK_MINLANES, A_PK_HOPS,
+    A_PK_INJ,
+    A_COMP,
+};
+
+enum {
+    S_CYCLE = 0, S_ERR, S_ERR_A, S_ERR_B, S_ERR_C, S_NCOMP, S_PEND,
+    S_PK_CAP,
+};
+
+/* error codes returned by ck_step (negative) */
+enum {
+    E_BUF_OVERFLOW = -1,
+    E_CREDIT_OVERFLOW = -2,
+    E_WORMHOLE = -3,
+    E_BAD_POP = -4,
+    E_NEG_CREDIT = -5,
+    E_NOMEM = -6,
+    E_CALENDAR = -7,
+};
+
+typedef struct CK {
+    i64 R, P, V, RP, L, nnodes, D;
+    i64 po, cd, merging, cal_sz;
+    i64 nw_r, nw_n; /* actmask / srcmask word counts */
+    i64 cycle;
+    i64 err, err_a, err_b, err_c;
+    i64 pend; /* scheduled, undelivered calendar events */
+
+    /* static tensors */
+    i64 *nports, *nvcs, *depth, *ej_pmask, *ej_lanes, *has_wide;
+    i64 *route_tab; /* R * nnodes */
+    i64 *ovc_cnt, *ceil_, *slanes;
+    i64 *link_r, *link_p, *link_delay, *link_lanes, *up_r, *up_p;
+    i64 *node_rid, *node_port, *node_lanes;
+
+    /* dynamic scalar state */
+    i64 *st_pid, *st_route, *st_outvc, *need, *cred, *owner;
+    i64 *occ, *am, *credok, *in_next, *out_next, *sec_next;
+    i64 *nva, *occupied, *va_off;
+    u64 *actw, *srcw, *scratch_w;
+
+    /* insertion-ordered active-lane lists, one row per router */
+    i64 *act_arr; /* R * (P*V) */
+    i64 *act_len; /* R */
+    i64 *act_pos; /* L, -1 when absent */
+
+    /* flit queues: fixed rings of depth D per lane */
+    i64 *qs_pkt, *qs_seq, *qs_ready; /* L * D */
+    i64 *qhead, *qlen;               /* L */
+
+    /* source queues */
+    Ring *srcq;                 /* nnodes */
+    i64 *src_pkt, *src_next, *src_vc; /* nnodes; -1 sentinels */
+
+    /* calendars: cal_sz buckets, events flattened (5 / 4 ints each) */
+    Vec *arr_b;  /* (rid, port, vc, pkt, seq) */
+    Vec *cred_b; /* (rid, port, vc, release) */
+
+    /* activity + measured-link deltas */
+    i64 *a_bw, *a_br, *a_xb, *a_rc, *a_va, *a_arb, *a_cf, *a_cs, *a_mg,
+        *a_oc;
+    i64 *lf, *lb; /* RP */
+
+    /* packet records (grown on demand) */
+    i64 pk_cap;
+    i64 *pk_id, *pk_src, *pk_dst, *pk_nflits, *pk_minlanes, *pk_hops,
+        *pk_inj;
+
+    /* completions (packet handles, tail ejected this cycle) */
+    Vec comp;
+
+    /* per-cycle scratch */
+    i64 *bid_vc, *obid, *elig, *bid_ports, *out_order;
+    i64 *grants; /* 2*P rows of 6: ip, ivc, op, gov, pkt, seq */
+} CK;
+
+static i64 *zalloc(i64 n) {
+    return (i64 *)calloc((size_t)(n > 0 ? n : 1), sizeof(i64));
+}
+
+CK *ck_new(i64 R, i64 P, i64 V, i64 nnodes, i64 po, i64 cd, i64 merging,
+           i64 cal_sz, i64 maxdepth) {
+    CK *ck = (CK *)calloc(1, sizeof(CK));
+    if (!ck)
+        return NULL;
+    ck->R = R;
+    ck->P = P;
+    ck->V = V;
+    ck->RP = R * P;
+    ck->L = R * P * V;
+    ck->nnodes = nnodes;
+    ck->D = maxdepth;
+    ck->po = po;
+    ck->cd = cd;
+    ck->merging = merging;
+    ck->cal_sz = cal_sz;
+    ck->nw_r = (R + 63) / 64;
+    ck->nw_n = (nnodes + 63) / 64;
+
+    i64 L = ck->L, RP = ck->RP;
+    ck->nports = zalloc(R);
+    ck->nvcs = zalloc(R);
+    ck->depth = zalloc(R);
+    ck->ej_pmask = zalloc(R);
+    ck->ej_lanes = zalloc(R);
+    ck->has_wide = zalloc(R);
+    ck->route_tab = zalloc(R * nnodes);
+    ck->ovc_cnt = zalloc(RP);
+    ck->ceil_ = zalloc(RP);
+    ck->slanes = zalloc(RP);
+    ck->link_r = zalloc(RP);
+    ck->link_p = zalloc(RP);
+    ck->link_delay = zalloc(RP);
+    ck->link_lanes = zalloc(RP);
+    ck->up_r = zalloc(RP);
+    ck->up_p = zalloc(RP);
+    ck->node_rid = zalloc(nnodes);
+    ck->node_port = zalloc(nnodes);
+    ck->node_lanes = zalloc(nnodes);
+
+    ck->st_pid = zalloc(L);
+    ck->st_route = zalloc(L);
+    ck->st_outvc = zalloc(L);
+    ck->need = zalloc(L);
+    ck->cred = zalloc(L);
+    ck->owner = zalloc(L);
+    ck->occ = zalloc(RP);
+    ck->am = zalloc(RP);
+    ck->credok = zalloc(RP);
+    ck->in_next = zalloc(RP);
+    ck->out_next = zalloc(RP);
+    ck->sec_next = zalloc(RP);
+    ck->nva = zalloc(R);
+    ck->occupied = zalloc(R);
+    ck->va_off = zalloc(R);
+    ck->actw = (u64 *)zalloc(ck->nw_r);
+    ck->srcw = (u64 *)zalloc(ck->nw_n);
+    ck->scratch_w = (u64 *)zalloc(ck->nw_r);
+
+    ck->act_arr = zalloc(R * P * V);
+    ck->act_len = zalloc(R);
+    ck->act_pos = zalloc(L);
+    for (i64 i = 0; i < L; i++)
+        ck->act_pos[i] = -1;
+
+    ck->qs_pkt = zalloc(L * maxdepth);
+    ck->qs_seq = zalloc(L * maxdepth);
+    ck->qs_ready = zalloc(L * maxdepth);
+    ck->qhead = zalloc(L);
+    ck->qlen = zalloc(L);
+
+    ck->srcq = (Ring *)calloc((size_t)(nnodes > 0 ? nnodes : 1),
+                              sizeof(Ring));
+    ck->src_pkt = zalloc(nnodes);
+    ck->src_next = zalloc(nnodes);
+    ck->src_vc = zalloc(nnodes);
+    for (i64 i = 0; i < nnodes; i++) {
+        ck->src_pkt[i] = -1;
+        ck->src_vc[i] = -1;
+    }
+
+    ck->arr_b = (Vec *)calloc((size_t)cal_sz, sizeof(Vec));
+    ck->cred_b = (Vec *)calloc((size_t)cal_sz, sizeof(Vec));
+
+    ck->a_bw = zalloc(R);
+    ck->a_br = zalloc(R);
+    ck->a_xb = zalloc(R);
+    ck->a_rc = zalloc(R);
+    ck->a_va = zalloc(R);
+    ck->a_arb = zalloc(R);
+    ck->a_cf = zalloc(R);
+    ck->a_cs = zalloc(R);
+    ck->a_mg = zalloc(R);
+    ck->a_oc = zalloc(R);
+    ck->lf = zalloc(RP);
+    ck->lb = zalloc(RP);
+
+    ck->pk_cap = 0;
+
+    ck->bid_vc = zalloc(P);
+    ck->obid = zalloc(P);
+    ck->elig = zalloc(P);
+    ck->bid_ports = zalloc(P);
+    ck->out_order = zalloc(P);
+    ck->grants = zalloc(2 * P * 6);
+    return ck;
+}
+
+void ck_free(CK *ck) {
+    if (!ck)
+        return;
+    free(ck->nports); free(ck->nvcs); free(ck->depth); free(ck->ej_pmask);
+    free(ck->ej_lanes); free(ck->has_wide); free(ck->route_tab);
+    free(ck->ovc_cnt); free(ck->ceil_); free(ck->slanes);
+    free(ck->link_r); free(ck->link_p); free(ck->link_delay);
+    free(ck->link_lanes); free(ck->up_r); free(ck->up_p);
+    free(ck->node_rid); free(ck->node_port); free(ck->node_lanes);
+    free(ck->st_pid); free(ck->st_route); free(ck->st_outvc);
+    free(ck->need); free(ck->cred); free(ck->owner);
+    free(ck->occ); free(ck->am); free(ck->credok);
+    free(ck->in_next); free(ck->out_next); free(ck->sec_next);
+    free(ck->nva); free(ck->occupied); free(ck->va_off);
+    free(ck->actw); free(ck->srcw); free(ck->scratch_w);
+    free(ck->act_arr); free(ck->act_len); free(ck->act_pos);
+    free(ck->qs_pkt); free(ck->qs_seq); free(ck->qs_ready);
+    free(ck->qhead); free(ck->qlen);
+    if (ck->srcq) {
+        for (i64 i = 0; i < ck->nnodes; i++)
+            free(ck->srcq[i].buf);
+        free(ck->srcq);
+    }
+    free(ck->src_pkt); free(ck->src_next); free(ck->src_vc);
+    if (ck->arr_b) {
+        for (i64 i = 0; i < ck->cal_sz; i++)
+            free(ck->arr_b[i].buf);
+        free(ck->arr_b);
+    }
+    if (ck->cred_b) {
+        for (i64 i = 0; i < ck->cal_sz; i++)
+            free(ck->cred_b[i].buf);
+        free(ck->cred_b);
+    }
+    free(ck->a_bw); free(ck->a_br); free(ck->a_xb); free(ck->a_rc);
+    free(ck->a_va); free(ck->a_arb); free(ck->a_cf); free(ck->a_cs);
+    free(ck->a_mg); free(ck->a_oc); free(ck->lf); free(ck->lb);
+    free(ck->pk_id); free(ck->pk_src); free(ck->pk_dst);
+    free(ck->pk_nflits); free(ck->pk_minlanes); free(ck->pk_hops);
+    free(ck->pk_inj);
+    free(ck->comp.buf);
+    free(ck->bid_vc); free(ck->obid); free(ck->elig);
+    free(ck->bid_ports); free(ck->out_order); free(ck->grants);
+    free(ck);
+}
+
+/* ---- accessors ---------------------------------------------------------- */
+i64 *ck_arr(CK *ck, i64 id) {
+    switch (id) {
+    case A_NPORTS: return ck->nports;
+    case A_NVCS: return ck->nvcs;
+    case A_DEPTH: return ck->depth;
+    case A_EJ_PMASK: return ck->ej_pmask;
+    case A_EJ_LANES: return ck->ej_lanes;
+    case A_HAS_WIDE: return ck->has_wide;
+    case A_ROUTE_TAB: return ck->route_tab;
+    case A_OVC_CNT: return ck->ovc_cnt;
+    case A_CEIL: return ck->ceil_;
+    case A_SLANES: return ck->slanes;
+    case A_LINK_R: return ck->link_r;
+    case A_LINK_P: return ck->link_p;
+    case A_LINK_DELAY: return ck->link_delay;
+    case A_LINK_LANES: return ck->link_lanes;
+    case A_UP_R: return ck->up_r;
+    case A_UP_P: return ck->up_p;
+    case A_NODE_RID: return ck->node_rid;
+    case A_NODE_PORT: return ck->node_port;
+    case A_NODE_LANES: return ck->node_lanes;
+    case A_ST_PID: return ck->st_pid;
+    case A_ST_ROUTE: return ck->st_route;
+    case A_ST_OUTVC: return ck->st_outvc;
+    case A_NEED: return ck->need;
+    case A_CRED: return ck->cred;
+    case A_OWNER: return ck->owner;
+    case A_OCC: return ck->occ;
+    case A_AM: return ck->am;
+    case A_CREDOK: return ck->credok;
+    case A_IN_NEXT: return ck->in_next;
+    case A_OUT_NEXT: return ck->out_next;
+    case A_SEC_NEXT: return ck->sec_next;
+    case A_NVA: return ck->nva;
+    case A_OCCUPIED: return ck->occupied;
+    case A_VA_OFF: return ck->va_off;
+    case A_ACTW: return (i64 *)ck->actw;
+    case A_SRCW: return (i64 *)ck->srcw;
+    case A_QS_PKT: return ck->qs_pkt;
+    case A_QS_SEQ: return ck->qs_seq;
+    case A_QS_READY: return ck->qs_ready;
+    case A_QHEAD: return ck->qhead;
+    case A_QLEN: return ck->qlen;
+    case A_SRC_PKT: return ck->src_pkt;
+    case A_SRC_NEXT: return ck->src_next;
+    case A_SRC_VC: return ck->src_vc;
+    case A_BW: return ck->a_bw;
+    case A_BR: return ck->a_br;
+    case A_XB: return ck->a_xb;
+    case A_RC: return ck->a_rc;
+    case A_VA: return ck->a_va;
+    case A_ARB: return ck->a_arb;
+    case A_CF: return ck->a_cf;
+    case A_CS: return ck->a_cs;
+    case A_MG: return ck->a_mg;
+    case A_OC: return ck->a_oc;
+    case A_LF: return ck->lf;
+    case A_LB: return ck->lb;
+    case A_PK_ID: return ck->pk_id;
+    case A_PK_SRC: return ck->pk_src;
+    case A_PK_DST: return ck->pk_dst;
+    case A_PK_NFLITS: return ck->pk_nflits;
+    case A_PK_MINLANES: return ck->pk_minlanes;
+    case A_PK_HOPS: return ck->pk_hops;
+    case A_PK_INJ: return ck->pk_inj;
+    case A_COMP: return ck->comp.buf;
+    }
+    return NULL;
+}
+
+i64 ck_get(CK *ck, i64 id) {
+    switch (id) {
+    case S_CYCLE: return ck->cycle;
+    case S_ERR: return ck->err;
+    case S_ERR_A: return ck->err_a;
+    case S_ERR_B: return ck->err_b;
+    case S_ERR_C: return ck->err_c;
+    case S_NCOMP: return ck->comp.len;
+    case S_PEND: return ck->pend;
+    case S_PK_CAP: return ck->pk_cap;
+    }
+    return 0;
+}
+
+void ck_set(CK *ck, i64 id, i64 v) {
+    switch (id) {
+    case S_CYCLE: ck->cycle = v; break;
+    case S_NCOMP: ck->comp.len = v; break;
+    }
+}
+
+/* ---- packet records ----------------------------------------------------- */
+static i64 *regrow(i64 *p, i64 old, i64 nc) {
+    i64 *nb = (i64 *)realloc(p, (size_t)nc * sizeof(i64));
+    if (nb)
+        memset(nb + old, 0, (size_t)(nc - old) * sizeof(i64));
+    return nb;
+}
+
+i64 ck_ensure_packets(CK *ck, i64 cap) {
+    if (cap <= ck->pk_cap)
+        return 0;
+    i64 nc = ck->pk_cap ? ck->pk_cap : 64;
+    while (nc < cap)
+        nc *= 2;
+    i64 old = ck->pk_cap;
+    i64 *a;
+    a = regrow(ck->pk_id, old, nc); if (!a) return -1; ck->pk_id = a;
+    a = regrow(ck->pk_src, old, nc); if (!a) return -1; ck->pk_src = a;
+    a = regrow(ck->pk_dst, old, nc); if (!a) return -1; ck->pk_dst = a;
+    a = regrow(ck->pk_nflits, old, nc); if (!a) return -1; ck->pk_nflits = a;
+    a = regrow(ck->pk_minlanes, old, nc); if (!a) return -1;
+    ck->pk_minlanes = a;
+    a = regrow(ck->pk_hops, old, nc); if (!a) return -1; ck->pk_hops = a;
+    a = regrow(ck->pk_inj, old, nc); if (!a) return -1; ck->pk_inj = a;
+    ck->pk_cap = nc;
+    return 0;
+}
+
+void ck_set_packet(CK *ck, i64 h, i64 pid, i64 src, i64 dst, i64 nflits,
+                   i64 injected, i64 minlanes, i64 hops) {
+    ck->pk_id[h] = pid;
+    ck->pk_src[h] = src;
+    ck->pk_dst[h] = dst;
+    ck->pk_nflits[h] = nflits;
+    ck->pk_inj[h] = injected;
+    ck->pk_minlanes[h] = minlanes;
+    ck->pk_hops[h] = hops;
+}
+
+/* ---- source queues ------------------------------------------------------ */
+i64 ck_source_push(CK *ck, i64 node, i64 h) {
+    if (ring_push(&ck->srcq[node], h))
+        return -1;
+    ck->srcw[node >> 6] |= 1ull << (node & 63);
+    return 0;
+}
+
+i64 ck_source_len(CK *ck, i64 node) { return ck->srcq[node].len; }
+
+i64 ck_source_at(CK *ck, i64 node, i64 i) {
+    Ring *r = &ck->srcq[node];
+    return r->buf[(r->head + i) % r->cap];
+}
+
+void ck_src_wake(CK *ck, i64 node) {
+    ck->srcw[node >> 6] |= 1ull << (node & 63);
+}
+
+/* ---- flit queues (pack-side writes; step uses inline ring ops) ---------- */
+i64 ck_queue_push(CK *ck, i64 lane, i64 pkt, i64 seq, i64 ready) {
+    if (ck->qlen[lane] >= ck->D)
+        return -1;
+    i64 slot = lane * ck->D + (ck->qhead[lane] + ck->qlen[lane]) % ck->D;
+    ck->qs_pkt[slot] = pkt;
+    ck->qs_seq[slot] = seq;
+    ck->qs_ready[slot] = ready;
+    ck->qlen[lane]++;
+    return 0;
+}
+
+/* ---- active-lane insertion-ordered lists -------------------------------- */
+void ck_act_clear(CK *ck, i64 rid) {
+    i64 *row = ck->act_arr + rid * ck->P * ck->V;
+    for (i64 i = 0; i < ck->act_len[rid]; i++)
+        ck->act_pos[row[i]] = -1;
+    ck->act_len[rid] = 0;
+}
+
+void ck_act_push(CK *ck, i64 rid, i64 lane) {
+    if (ck->act_pos[lane] >= 0)
+        return;
+    i64 *row = ck->act_arr + rid * ck->P * ck->V;
+    row[ck->act_len[rid]] = lane;
+    ck->act_pos[lane] = ck->act_len[rid]++;
+}
+
+i64 ck_act_len(CK *ck, i64 rid) { return ck->act_len[rid]; }
+
+i64 ck_act_at(CK *ck, i64 rid, i64 i) {
+    return ck->act_arr[rid * ck->P * ck->V + i];
+}
+
+static void act_del(CK *ck, i64 rid, i64 lane) {
+    i64 *row = ck->act_arr + rid * ck->P * ck->V;
+    i64 i = ck->act_pos[lane];
+    i64 n = --ck->act_len[rid];
+    for (; i < n; i++) {
+        i64 l2 = row[i + 1];
+        row[i] = l2;
+        ck->act_pos[l2] = i;
+    }
+    ck->act_pos[lane] = -1;
+}
+
+/* ---- calendars ---------------------------------------------------------- */
+i64 ck_sched_arrival(CK *ck, i64 when, i64 rid, i64 port, i64 vc, i64 pkt,
+                     i64 seq) {
+    if (when < ck->cycle || when - ck->cycle >= ck->cal_sz)
+        return E_CALENDAR;
+    Vec *b = &ck->arr_b[when % ck->cal_sz];
+    if (vec_push(b, rid) || vec_push(b, port) || vec_push(b, vc) ||
+        vec_push(b, pkt) || vec_push(b, seq))
+        return E_NOMEM;
+    ck->pend++;
+    return 0;
+}
+
+i64 ck_sched_credit(CK *ck, i64 when, i64 rid, i64 port, i64 vc,
+                    i64 release) {
+    if (when < ck->cycle || when - ck->cycle >= ck->cal_sz)
+        return E_CALENDAR;
+    Vec *b = &ck->cred_b[when % ck->cal_sz];
+    if (vec_push(b, rid) || vec_push(b, port) || vec_push(b, vc) ||
+        vec_push(b, release))
+        return E_NOMEM;
+    ck->pend++;
+    return 0;
+}
+
+i64 ck_bucket_len(CK *ck, i64 kind, i64 idx) {
+    Vec *b = kind ? &ck->cred_b[idx] : &ck->arr_b[idx];
+    return b->len;
+}
+
+i64 *ck_bucket_ptr(CK *ck, i64 kind, i64 idx) {
+    Vec *b = kind ? &ck->cred_b[idx] : &ck->arr_b[idx];
+    return b->buf;
+}
+
+/* ---- misc --------------------------------------------------------------- */
+void ck_wake(CK *ck, i64 rid) { ck->actw[rid >> 6] |= 1ull << (rid & 63); }
+
+i64 ck_total_buffered(CK *ck) {
+    i64 t = 0;
+    for (i64 i = 0; i < ck->R; i++)
+        t += ck->occupied[i];
+    return t;
+}
+
+/* ---- one clock cycle ---------------------------------------------------- */
+static i64 rot_pick(i64 mask, i64 nxt, i64 n) {
+    u64 m = (u64)mask;
+    u64 r = ((m >> nxt) | (m << (n - nxt))) & ((1ull << n) - 1);
+    return (nxt + (i64)__builtin_ctzll(r)) % n;
+}
+
+#define ERR3(code, a, b, c)                                                  \
+    do {                                                                     \
+        ck->err = (code);                                                    \
+        ck->err_a = (a);                                                     \
+        ck->err_b = (b);                                                     \
+        ck->err_c = (c);                                                     \
+        return (code);                                                       \
+    } while (0)
+
+i64 ck_step(CK *ck, i64 measuring) {
+    const i64 P = ck->P, V = ck->V, D = ck->D;
+    const i64 cycle = ck->cycle;
+    const i64 po = ck->po, cd = ck->cd, merging = ck->merging;
+    i64 *st_pid = ck->st_pid, *st_route = ck->st_route,
+        *st_outvc = ck->st_outvc;
+    i64 *need = ck->need, *nva = ck->nva, *cred = ck->cred,
+        *owner = ck->owner;
+    i64 *occ = ck->occ, *am = ck->am, *credok = ck->credok;
+    i64 *occupied = ck->occupied;
+    i64 *qs_pkt = ck->qs_pkt, *qs_seq = ck->qs_seq, *qs_ready = ck->qs_ready;
+    i64 *qhead = ck->qhead, *qlen = ck->qlen;
+    i64 *depth = ck->depth;
+    i64 *pk_id = ck->pk_id, *pk_nflits = ck->pk_nflits,
+        *pk_dst = ck->pk_dst;
+    i64 *pk_minlanes = ck->pk_minlanes, *pk_hops = ck->pk_hops,
+        *pk_inj = ck->pk_inj;
+    u64 *actw = ck->actw;
+    const i64 bslot = cycle % ck->cal_sz;
+
+    /* -- phase 1: link arrivals scheduled for this cycle ------------------ */
+    {
+        Vec *b = &ck->arr_b[bslot];
+        i64 n = b->len / 5;
+        for (i64 e = 0; e < n; e++) {
+            i64 *ev = b->buf + e * 5;
+            i64 rid = ev[0], port = ev[1], vc = ev[2], pkt = ev[3],
+                seq = ev[4];
+            i64 rp = rid * P + port;
+            i64 lane = rp * V + vc;
+            if (qlen[lane] >= depth[rid])
+                ERR3(E_BUF_OVERFLOW, rid, port, vc);
+            if (qlen[lane] == 0) {
+                occ[rp] |= 1ll << vc;
+                ck_act_push(ck, rid, lane);
+                if (st_pid[lane] != pk_id[pkt] || st_outvc[lane] == -2) {
+                    if (!need[lane]) {
+                        need[lane] = 1;
+                        nva[rid]++;
+                    }
+                }
+            }
+            i64 slot = lane * D + (qhead[lane] + qlen[lane]) % D;
+            qs_pkt[slot] = pkt;
+            qs_seq[slot] = seq;
+            qs_ready[slot] = cycle + po;
+            qlen[lane]++;
+            occupied[rid]++;
+            ck->a_bw[rid]++;
+            actw[rid >> 6] |= 1ull << (rid & 63);
+        }
+        ck->pend -= n;
+        b->len = 0;
+    }
+
+    /* -- phase 2: credit returns ------------------------------------------ */
+    {
+        Vec *b = &ck->cred_b[bslot];
+        i64 n = b->len / 4;
+        for (i64 e = 0; e < n; e++) {
+            i64 *ev = b->buf + e * 4;
+            i64 rid = ev[0], port = ev[1], vc = ev[2], release = ev[3];
+            i64 rp = rid * P + port;
+            i64 lane = rp * V + vc;
+            i64 c = cred[lane] + 1;
+            if (c > ck->ceil_[rp])
+                ERR3(E_CREDIT_OVERFLOW, rid, port, vc);
+            cred[lane] = c;
+            credok[rp] |= 1ll << vc;
+            if (release)
+                owner[lane] = -1;
+        }
+        ck->pend -= n;
+        b->len = 0;
+    }
+
+    /* -- phase 3: injection from active sources --------------------------- */
+    {
+        u64 *srcw = ck->srcw;
+        i64 *src_pkt = ck->src_pkt, *src_next = ck->src_next,
+            *src_vc = ck->src_vc;
+        i64 ready = cycle + po;
+        for (i64 w = 0; w < ck->nw_n; w++) {
+            u64 bits = srcw[w];
+            while (bits) {
+                i64 bpos = (i64)__builtin_ctzll(bits);
+                bits &= bits - 1;
+                i64 node = w * 64 + bpos;
+                Ring *sq = &ck->srcq[node];
+                if (src_pkt[node] < 0 && sq->len == 0) {
+                    srcw[w] &= ~(1ull << bpos);
+                    continue;
+                }
+                i64 rid = ck->node_rid[node];
+                i64 port = ck->node_port[node];
+                i64 lanes = ck->node_lanes[node];
+                i64 rp = rid * P + port;
+                i64 lane0 = rp * V;
+                i64 cap = depth[rid];
+                i64 budget = lanes;
+                while (budget > 0) {
+                    if (src_pkt[node] < 0) {
+                        if (sq->len == 0)
+                            break;
+                        i64 vc = -1, fallback = -1, fallback_free = 0;
+                        for (i64 cand = 0; cand < ck->nvcs[rid]; cand++) {
+                            i64 l = lane0 + cand;
+                            i64 free_ = cap - qlen[l];
+                            if (free_ == 0)
+                                continue;
+                            if (qlen[l] == 0 && st_pid[l] == -1) {
+                                vc = cand;
+                                break;
+                            }
+                            if (free_ > fallback_free) {
+                                fallback = cand;
+                                fallback_free = free_;
+                            }
+                        }
+                        if (vc < 0)
+                            vc = fallback;
+                        if (vc < 0)
+                            break;
+                        i64 h = ring_pop(sq);
+                        src_pkt[node] = h;
+                        src_next[node] = 0;
+                        src_vc[node] = vc;
+                        pk_inj[h] = cycle;
+                        pk_minlanes[h] = lanes;
+                    }
+                    i64 vc = src_vc[node];
+                    i64 lane = lane0 + vc;
+                    if (qlen[lane] >= cap)
+                        break;
+                    i64 h = src_pkt[node];
+                    i64 seq = src_next[node];
+                    if (qlen[lane] == 0) {
+                        occ[rp] |= 1ll << vc;
+                        ck_act_push(ck, rid, lane);
+                        if (st_pid[lane] != pk_id[h] ||
+                            st_outvc[lane] == -2) {
+                            if (!need[lane]) {
+                                need[lane] = 1;
+                                nva[rid]++;
+                            }
+                        }
+                    }
+                    i64 slot = lane * D + (qhead[lane] + qlen[lane]) % D;
+                    qs_pkt[slot] = h;
+                    qs_seq[slot] = seq;
+                    qs_ready[slot] = ready;
+                    qlen[lane]++;
+                    occupied[rid]++;
+                    ck->a_bw[rid]++;
+                    actw[rid >> 6] |= 1ull << (rid & 63);
+                    src_next[node]++;
+                    budget--;
+                    if (src_next[node] >= pk_nflits[h]) {
+                        src_pkt[node] = -1;
+                        src_next[node] = 0;
+                        src_vc[node] = -1;
+                    }
+                }
+            }
+        }
+    }
+
+    /* -- phases 4+5: RC/VA, switch allocation, traversal ------------------ */
+    {
+        i64 *in_next = ck->in_next, *out_next = ck->out_next,
+            *sec_next = ck->sec_next;
+        i64 *bid_vc = ck->bid_vc, *obid = ck->obid, *elig = ck->elig;
+        i64 *bid_ports = ck->bid_ports, *out_order = ck->out_order;
+        i64 *grants = ck->grants;
+        u64 *snap = ck->scratch_w;
+        memcpy(snap, actw, (size_t)ck->nw_r * sizeof(u64));
+        for (i64 w = 0; w < ck->nw_r; w++) {
+            u64 bits = snap[w];
+            while (bits) {
+                i64 bpos = (i64)__builtin_ctzll(bits);
+                bits &= bits - 1;
+                i64 rid = w * 64 + bpos;
+                if (!occupied[rid]) {
+                    actw[w] &= ~(1ull << bpos);
+                    continue;
+                }
+                i64 base = rid * P;
+                i64 ejp = ck->ej_pmask[rid];
+                i64 *aarr = ck->act_arr + rid * P * V;
+                i64 alen = ck->act_len[rid];
+
+                /* ---- RC + VC allocation (needy lanes only) ------------- */
+                i64 off = ck->va_off[rid];
+                ck->va_off[rid] = off + 1;
+                i64 needy = nva[rid];
+                if (needy) {
+                    i64 start = 0, count = 0;
+                    if (needy == 1) {
+                        for (i64 i = 0; i < alen; i++) {
+                            if (need[aarr[i]]) {
+                                start = i;
+                                count = 1;
+                                break;
+                            }
+                        }
+                    } else {
+                        start = off % alen;
+                        count = alen;
+                    }
+                    const i64 *rt = ck->route_tab + rid * ck->nnodes;
+                    for (i64 k = 0; k < count; k++) {
+                        i64 lane = aarr[(start + k) % alen];
+                        if (!need[lane])
+                            continue;
+                        if (qlen[lane] == 0)
+                            continue;
+                        i64 hslot = lane * D + qhead[lane];
+                        i64 pkt = qs_pkt[hslot];
+                        i64 seq = qs_seq[hslot];
+                        i64 pid = pk_id[pkt];
+                        if (st_pid[lane] != pid) {
+                            if (seq != 0)
+                                ERR3(E_WORMHOLE, rid, pid, 0);
+                            st_pid[lane] = pid;
+                            st_route[lane] = rt[pk_dst[pkt]];
+                            st_outvc[lane] = -2;
+                            ck->a_rc[rid]++;
+                        }
+                        if (st_outvc[lane] != -2 || qs_ready[hslot] > cycle)
+                            continue;
+                        i64 op = st_route[lane];
+                        if ((ejp >> op) & 1) {
+                            st_outvc[lane] = -1;
+                            am[lane / V] |= 1ll << (lane % V);
+                            need[lane] = 0;
+                            nva[rid]--;
+                            continue;
+                        }
+                        if (seq != 0)
+                            continue;
+                        i64 rp2 = base + op;
+                        i64 lane2 = rp2 * V;
+                        for (i64 cvc = 0; cvc < ck->ovc_cnt[rp2]; cvc++) {
+                            if (owner[lane2 + cvc] == -1) {
+                                owner[lane2 + cvc] = pid;
+                                st_outvc[lane] = cvc;
+                                am[lane / V] |= 1ll << (lane % V);
+                                ck->a_va[rid]++;
+                                need[lane] = 0;
+                                nva[rid]--;
+                                break;
+                            }
+                        }
+                    }
+                }
+
+                /* ---- switch allocation --------------------------------- */
+                i64 n_out = 0, nbid = 0;
+                i64 np_ = ck->nports[rid];
+                i64 nv = ck->nvcs[rid];
+                i64 wide = ck->has_wide[rid];
+                for (i64 port = 0; port < np_; port++) {
+                    i64 rp = base + port;
+                    i64 em = occ[rp] & am[rp];
+                    if (!em)
+                        continue;
+                    i64 lane = rp * V;
+                    i64 embit = 0, necount = 0;
+                    i64 mm = em;
+                    while (mm) {
+                        i64 vc = (i64)__builtin_ctzll((u64)mm);
+                        mm &= mm - 1;
+                        i64 l = lane + vc;
+                        if (qs_ready[l * D + qhead[l]] > cycle)
+                            continue;
+                        i64 op = st_route[l];
+                        if ((ejp >> op) & 1) {
+                            embit |= 1ll << vc;
+                            necount++;
+                        } else if ((credok[base + op] >> st_outvc[l]) & 1) {
+                            embit |= 1ll << vc;
+                            necount++;
+                        } else {
+                            ck->a_cs[rid]++;
+                        }
+                    }
+                    if (!embit)
+                        continue;
+                    i64 bid, nxt;
+                    if (necount == 1) {
+                        bid = (i64)__builtin_ctzll((u64)embit);
+                        nxt = bid + 1;
+                        in_next[rp] = nxt < nv ? nxt : 0;
+                    } else {
+                        bid = rot_pick(embit, in_next[rp], nv);
+                        nxt = bid + 1;
+                        in_next[rp] = nxt < nv ? nxt : 0;
+                        ck->a_cf[rid] += necount - 1;
+                    }
+                    ck->a_arb[rid]++;
+                    bid_vc[port] = bid;
+                    bid_ports[nbid++] = port;
+                    if (wide)
+                        elig[port] = embit;
+                    i64 op = st_route[lane + bid];
+                    if (!obid[op])
+                        out_order[n_out++] = op;
+                    obid[op] |= 1ll << port;
+                }
+                if (!n_out) {
+                    if (measuring)
+                        ck->a_oc[rid] += occupied[rid];
+                    continue;
+                }
+                i64 ngr = 0;
+                for (i64 oi = 0; oi < n_out; oi++) {
+                    i64 op = out_order[oi];
+                    i64 m2 = obid[op];
+                    obid[op] = 0;
+                    i64 rpo = base + op;
+                    i64 wp, nxt;
+                    if (!(m2 & (m2 - 1))) {
+                        wp = (i64)__builtin_ctzll((u64)m2);
+                        nxt = wp + 1;
+                        out_next[rpo] = nxt < np_ ? nxt : 0;
+                    } else {
+                        wp = rot_pick(m2, out_next[rpo], np_);
+                        nxt = wp + 1;
+                        out_next[rpo] = nxt < np_ ? nxt : 0;
+                        ck->a_cf[rid] += (i64)__builtin_popcountll((u64)m2)
+                                         - 1;
+                    }
+                    ck->a_arb[rid]++;
+                    i64 wvc = bid_vc[wp];
+                    i64 lane = (base + wp) * V + wvc;
+                    i64 is_ej = (ejp >> op) & 1;
+                    i64 gov = is_ej ? -1 : st_outvc[lane];
+                    i64 hslot = lane * D + qhead[lane];
+                    i64 *g = grants + ngr * 6;
+                    g[0] = wp;
+                    g[1] = wvc;
+                    g[2] = op;
+                    g[3] = gov;
+                    g[4] = qs_pkt[hslot];
+                    g[5] = qs_seq[hslot];
+                    ngr++;
+                    if (!merging || ck->slanes[rpo] < 2)
+                        continue;
+                    /* ---- second parallel arbiter (wide output) --------- */
+                    i64 have_second = 0;
+                    i64 s_ip = 0, s_ivc = 0, s_gov = 0, s_pkt = 0, s_seq = 0;
+                    if (qlen[lane] > 1) {
+                        i64 slot2 = lane * D + (qhead[lane] + 1) % D;
+                        if (qs_pkt[slot2] >= 0 &&
+                            pk_id[qs_pkt[slot2]] == st_pid[lane] &&
+                            qs_ready[slot2] <= cycle) {
+                            if (!is_ej && cred[rpo * V + gov] >= 2) {
+                                have_second = 1;
+                                s_ip = wp;
+                                s_ivc = wvc;
+                                s_gov = gov;
+                                s_pkt = qs_pkt[slot2];
+                                s_seq = qs_seq[slot2];
+                            } else if (is_ej) {
+                                have_second = 1;
+                                s_ip = wp;
+                                s_ivc = wvc;
+                                s_gov = -1;
+                                s_pkt = qs_pkt[slot2];
+                                s_seq = qs_seq[slot2];
+                            }
+                        }
+                    }
+                    if (!have_second) {
+                        /* candidate set: winner port's other eligible VCs
+                         * routed to op, then other bidding ports' winners */
+                        i64 cand_mask = 0;
+                        i64 cand_vc[64];
+                        i64 cm = elig[wp] & ~(1ll << wvc);
+                        i64 lane0 = (base + wp) * V;
+                        while (cm) {
+                            i64 vc = (i64)__builtin_ctzll((u64)cm);
+                            cm &= cm - 1;
+                            if (st_route[lane0 + vc] == op) {
+                                cand_mask |= 1ll << wp;
+                                cand_vc[wp] = vc;
+                                break;
+                            }
+                        }
+                        for (i64 bi = 0; bi < nbid; bi++) {
+                            i64 p2 = bid_ports[bi];
+                            if (p2 == wp)
+                                continue;
+                            i64 vcb = bid_vc[p2];
+                            if (st_route[(base + p2) * V + vcb] == op) {
+                                if (!((cand_mask >> p2) & 1)) {
+                                    cand_mask |= 1ll << p2;
+                                    cand_vc[p2] = vcb;
+                                }
+                            }
+                        }
+                        if (cand_mask) {
+                            i64 cp;
+                            if (!(cand_mask & (cand_mask - 1))) {
+                                cp = (i64)__builtin_ctzll((u64)cand_mask);
+                                nxt = cp + 1;
+                                sec_next[rpo] = nxt < np_ ? nxt : 0;
+                            } else {
+                                cp = rot_pick(cand_mask, sec_next[rpo],
+                                              np_);
+                                nxt = cp + 1;
+                                sec_next[rpo] = nxt < np_ ? nxt : 0;
+                            }
+                            ck->a_arb[rid]++;
+                            i64 cvc = cand_vc[cp];
+                            i64 lane2 = (base + cp) * V + cvc;
+                            i64 hs2 = lane2 * D + qhead[lane2];
+                            have_second = 1;
+                            s_ip = cp;
+                            s_ivc = cvc;
+                            s_gov = is_ej ? -1 : st_outvc[lane2];
+                            s_pkt = qs_pkt[hs2];
+                            s_seq = qs_seq[hs2];
+                        }
+                    }
+                    if (have_second) {
+                        i64 *g2 = grants + ngr * 6;
+                        g2[0] = s_ip;
+                        g2[1] = s_ivc;
+                        g2[2] = op;
+                        g2[3] = s_gov;
+                        g2[4] = s_pkt;
+                        g2[5] = s_seq;
+                        ngr++;
+                        ck->a_mg[rid]++;
+                    }
+                }
+
+                /* ---- switch traversal ---------------------------------- */
+                i64 used_mask = 0;
+                for (i64 gi = 0; gi < ngr; gi++) {
+                    i64 *g = grants + gi * 6;
+                    i64 ip = g[0], ivc = g[1], op = g[2], gov = g[3];
+                    i64 rp_in = base + ip;
+                    i64 lane = rp_in * V + ivc;
+                    i64 hslot = lane * D + qhead[lane];
+                    i64 pkt = qs_pkt[hslot];
+                    i64 seq = qs_seq[hslot];
+                    if (pkt != g[4] || seq != g[5])
+                        ERR3(E_BAD_POP, rid, ip, ivc);
+                    qhead[lane] = (qhead[lane] + 1) % D;
+                    qlen[lane]--;
+                    occupied[rid]--;
+                    ck->a_br[rid]++;
+                    ck->a_xb[rid]++;
+                    if (qlen[lane] == 0) {
+                        occ[rp_in] &= ~(1ll << ivc);
+                        act_del(ck, rid, lane);
+                    }
+                    if (gov >= 0) {
+                        i64 cidx = (base + op) * V + gov;
+                        i64 c = cred[cidx] - 1;
+                        cred[cidx] = c;
+                        if (c == 0)
+                            credok[base + op] &= ~(1ll << gov);
+                        else if (c < 0)
+                            ERR3(E_NEG_CREDIT, rid, op, gov);
+                    }
+                    i64 is_tail = (seq == pk_nflits[pkt] - 1);
+                    i64 is_head = (seq == 0);
+                    if ((ejp >> op) & 1) {
+                        if (is_head && pk_minlanes[pkt] != -1) {
+                            i64 el = ck->ej_lanes[rid];
+                            if (el < pk_minlanes[pkt])
+                                pk_minlanes[pkt] = el;
+                        }
+                        if (is_tail) {
+                            if (vec_push(&ck->comp, pkt))
+                                ERR3(E_NOMEM, 0, 0, 0);
+                        }
+                    } else {
+                        i64 rpo2 = base + op;
+                        if (is_head) {
+                            pk_hops[pkt]++;
+                            if (pk_minlanes[pkt] != -1) {
+                                i64 width =
+                                    merging ? ck->link_lanes[rpo2] : 1;
+                                if (width < pk_minlanes[pkt])
+                                    pk_minlanes[pkt] = width;
+                            }
+                        }
+                        i64 rc = ck_sched_arrival(
+                            ck, cycle + ck->link_delay[rpo2],
+                            ck->link_r[rpo2], ck->link_p[rpo2], gov, pkt,
+                            seq);
+                        if (rc)
+                            ERR3(rc, rid, op, 0);
+                        if (measuring) {
+                            used_mask |= 1ll << op;
+                            ck->lf[rpo2]++;
+                        }
+                    }
+                    if (is_tail) {
+                        st_pid[lane] = -1;
+                        st_route[lane] = -1;
+                        st_outvc[lane] = -2;
+                        am[rp_in] &= ~(1ll << ivc);
+                        if (qlen[lane] && !need[lane]) {
+                            need[lane] = 1;
+                            nva[rid]++;
+                        }
+                    }
+                    if (!((ejp >> ip) & 1)) {
+                        if (ck->up_r[rp_in] != -1) {
+                            i64 rc = ck_sched_credit(
+                                ck, cycle + cd, ck->up_r[rp_in],
+                                ck->up_p[rp_in], ivc, is_tail);
+                            if (rc)
+                                ERR3(rc, rid, ip, ivc);
+                        }
+                    }
+                }
+                while (used_mask) {
+                    i64 port = (i64)__builtin_ctzll((u64)used_mask);
+                    used_mask &= used_mask - 1;
+                    ck->lb[base + port]++;
+                }
+                if (measuring)
+                    ck->a_oc[rid] += occupied[rid];
+            }
+        }
+    }
+
+    ck->cycle = cycle + 1;
+    return ck->comp.len;
+}

@@ -4,8 +4,12 @@ Runs a fixed matrix of simulator workloads -- empty meshes, uniform-random
 sweeps at low/mid/saturation rates on 4x4 and 8x8, the fig07 operating
 points for both the baseline and the HeteroNoC diagonal layout, and one
 faulty point -- and reports cycles-per-second for the event-driven
-kernel, the structure-of-arrays batch kernel and (optionally) the
-retained naive full-scan kernel.
+kernel, the structure-of-arrays batch kernel, the compiled C kernel
+(``repro.noc.ckernel``; timed only when a C compiler is available) and
+(optionally) the retained naive full-scan kernel.  Each case gets one
+untimed warmup run before the timed best-of-N repetitions, so one-time
+costs (route-table build, kernel pack, shared-object load, allocator
+warmup) never pollute the recorded figures.
 
 Usage::
 
@@ -13,12 +17,15 @@ Usage::
     PYTHONPATH=src python -m repro.noc.bench --kernel event --repeat 1
     PYTHONPATH=src python -m repro.noc.bench --check BENCH_kernel.json
     PYTHONPATH=src python -m repro.noc.bench --kernel soa --only empty-4x4
+    PYTHONPATH=src python -m repro.noc.bench --kernel c
 
 ``--check`` is the CI perf-smoke mode: it times a small subset of the
 matrix and fails (exit 1) if any point runs more than ``--tolerance``
 times slower than the committed baseline's figure for the same kernel
 (``--kernel event`` by default; the soa-smoke job passes
-``--kernel soa``).
+``--kernel soa``, the ckernel-smoke job ``--kernel c``).  On a host
+with no C compiler, ``--kernel c`` prints a clear skip message and
+exits 0 instead of timing a silently degraded kernel.
 
 ``--only`` with a name not in the frozen matrix is an error (exit 2,
 naming the unknown case): a typo must not silently time nothing.
@@ -143,8 +150,16 @@ def run_suite(
     kernel: str = "event",
     only: Optional[list] = None,
     quiet: bool = False,
+    warmup: bool = True,
 ) -> Dict[str, Dict]:
-    """Run the matrix (best-of-``repeat`` wall clock per case).
+    """Run the matrix (one untimed warmup, then best-of-``repeat`` wall
+    clock per case).
+
+    The warmup run absorbs one-time costs -- route-table construction,
+    kernel packing, the compiled kernel's shared-object build/load,
+    interpreter and allocator warmup -- so the recorded best-of-N
+    figures measure steady-state stepping only.  ``warmup=False`` skips
+    it for callers that only need a smoke signal.
 
     Raises :class:`ValueError` when ``only`` names a case that is not in
     the frozen matrix -- a silent empty run would report nothing while
@@ -163,6 +178,8 @@ def run_suite(
         if only is not None and name not in only:
             continue
         best_wall, cycles = None, None
+        if warmup:
+            run_case(name, kind, params, kernel=kernel)
         for _ in range(repeat):
             c, w = run_case(name, kind, params, kernel=kernel)
             if best_wall is None or w < best_wall:
@@ -199,6 +216,7 @@ def build_report(
     seed_baseline: Optional[Dict[str, Dict]],
     repeat: int,
     soa: Optional[Dict[str, Dict]] = None,
+    c: Optional[Dict[str, Dict]] = None,
 ) -> Dict:
     report: Dict = {
         "meta": {
@@ -227,6 +245,19 @@ def build_report(
             for name in event
             if name in soa and soa[name]["wall_s"] > 0
         }
+    if c:
+        report["c"] = c
+        report["speedup_c_vs_event"] = {
+            name: round(event[name]["wall_s"] / c[name]["wall_s"], 3)
+            for name in event
+            if name in c and c[name]["wall_s"] > 0
+        }
+        if soa:
+            report["speedup_c_vs_soa"] = {
+                name: round(soa[name]["wall_s"] / c[name]["wall_s"], 3)
+                for name in soa
+                if name in c and c[name]["wall_s"] > 0
+            }
     if seed_baseline:
         report["seed_baseline"] = seed_baseline
         report["speedup_vs_seed"] = {
@@ -247,6 +278,16 @@ def build_report(
             FIG07_GROUP, soa, event
         )
         summary = report["groups"]["fig07_low_soa"]
+        if "speedup_vs_baseline" in summary:
+            summary["speedup_vs_event"] = summary.pop("speedup_vs_baseline")
+            summary["event_wall_s"] = summary.pop("baseline_wall_s")
+    if c:
+        # The compiled-kernel acceptance group: same cases, c wall
+        # clock, with the current *event* figures as the baseline.
+        report["groups"]["fig07_low_c"] = _group_summary(
+            FIG07_GROUP, c, event
+        )
+        summary = report["groups"]["fig07_low_c"]
         if "speedup_vs_baseline" in summary:
             summary["speedup_vs_event"] = summary.pop("speedup_vs_baseline")
             summary["event_wall_s"] = summary.pop("baseline_wall_s")
@@ -274,11 +315,12 @@ def history_entry(
             for group, summary in report.get("groups", {}).items()
         },
     }
-    soa = report.get("soa")
-    if soa:
-        entry["soa"] = {
-            name: stats["cycles_per_s"] for name, stats in soa.items()
-        }
+    for section in ("soa", "c"):
+        data = report.get(section)
+        if data:
+            entry[section] = {
+                name: stats["cycles_per_s"] for name, stats in data.items()
+            }
     return entry
 
 
@@ -387,11 +429,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--kernel",
-        choices=("event", "soa", "naive", "both", "all"),
+        choices=("event", "soa", "naive", "c", "both", "all"),
         default="all",
         help="which kernel(s) to time: a single kernel, 'both' "
              "(event + naive, the pre-soa matrix) or 'all' "
-             "(event + soa + naive, default); in --check mode a single "
+             "(event + soa + c + naive, default; c is skipped when no "
+             "C compiler is available); in --check mode a single "
              "kernel name selects which baseline figures to compare",
     )
     parser.add_argument(
@@ -431,9 +474,31 @@ def main(argv: Optional[list] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # The compiled kernel degrades silently to soa when no compiler
+    # exists; timing it would then mislabel soa figures as "c".  Decide
+    # availability up front and skip loudly instead.
+    want_c = args.kernel in ("c", "all")
+    c_reason = None
+    if want_c or (args.check and args.kernel == "c"):
+        from repro.noc.ckernel import ckernel_available, unavailable_reason
+
+        if not ckernel_available():
+            c_reason = unavailable_reason()
+            if args.kernel == "c":
+                print(
+                    "skipping compiled-kernel benchmark: "
+                    f"{c_reason} (nothing to time; exit 0)"
+                )
+                return 0
+            print(f"note: compiled kernel unavailable ({c_reason}); "
+                  "timing event + soa + naive only")
+            want_c = False
+
     if args.check:
         check_kernel = (
-            args.kernel if args.kernel in ("event", "soa", "naive") else "event"
+            args.kernel
+            if args.kernel in ("event", "soa", "naive", "c")
+            else "event"
         )
         return run_check(
             args.check, args.tolerance, max(1, args.repeat), check_kernel
@@ -446,6 +511,10 @@ def main(argv: Optional[list] = None) -> int:
         if args.kernel in ("soa", "all"):
             print("benchmarking structure-of-arrays kernel:")
             soa = run_suite(repeat=args.repeat, kernel="soa", only=args.only)
+        c = None
+        if want_c:
+            print("benchmarking compiled (C) kernel:")
+            c = run_suite(repeat=args.repeat, kernel="c", only=args.only)
         naive = None
         if args.kernel in ("naive", "both", "all"):
             print("benchmarking naive full-scan kernel:")
@@ -466,7 +535,9 @@ def main(argv: Optional[list] = None) -> int:
         ):
             seed_baseline = seed_baseline["event"]
 
-    report = build_report(event, naive, seed_baseline, args.repeat, soa=soa)
+    report = build_report(
+        event, naive, seed_baseline, args.repeat, soa=soa, c=c
+    )
     fig07 = report["groups"]["fig07_low"]
     if "speedup_vs_baseline" in fig07:
         print(
@@ -474,13 +545,14 @@ def main(argv: Optional[list] = None) -> int:
             f"{fig07['baseline_wall_s']:.3f}s = "
             f"{fig07['speedup_vs_baseline']:.2f}x"
         )
-    fig07_soa = report["groups"].get("fig07_low_soa")
-    if fig07_soa and "speedup_vs_event" in fig07_soa:
-        print(
-            f"fig07 group (soa): {fig07_soa['wall_s']:.3f}s vs event "
-            f"{fig07_soa['event_wall_s']:.3f}s = "
-            f"{fig07_soa['speedup_vs_event']:.2f}x"
-        )
+    for label, group in (("soa", "fig07_low_soa"), ("c", "fig07_low_c")):
+        summary = report["groups"].get(group)
+        if summary and "speedup_vs_event" in summary:
+            print(
+                f"fig07 group ({label}): {summary['wall_s']:.3f}s vs event "
+                f"{summary['event_wall_s']:.3f}s = "
+                f"{summary['speedup_vs_event']:.2f}x"
+            )
     # Regression flags against the committed baseline (read before --out
     # can overwrite it).  A flagged case fails the run -- after the
     # history/report artifacts are written, so the evidence survives.

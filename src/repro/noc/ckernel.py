@@ -1,0 +1,761 @@
+"""Compiled (C) cycle kernel: on-demand build, ctypes bridge, dispatch.
+
+The fourth cycle kernel, selected with ``NetworkConfig(kernel="c")``,
+``REPRO_KERNEL=c`` or ``network.use_kernel("c")``.  The per-cycle walk
+itself lives in ``_ckernel.c`` (shipped in-repo next to this module) and
+replicates :meth:`repro.noc.soa.SoaKernel.step` over the same flat
+integer layout; this module owns everything around it:
+
+* **build** -- the C source is compiled on first use with the system C
+  compiler (discovered via :func:`shutil.which` over the ``sysconfig``
+  ``CC`` plus ``cc``/``gcc``/``clang``) into a shared object cached
+  under ``~/.cache/repro-ckernel/`` (override with
+  ``REPRO_CKERNEL_CACHE``).  The cache key is the sha256 of the source,
+  compiler and flags, so editing the C file or switching toolchains
+  rebuilds automatically; concurrent builders race benignly through an
+  atomic ``os.replace``.  No build-time dependency, no wheel machinery.
+* **bridge** -- :class:`CKernel` packs the network state into the C
+  side's arrays (queues as packet-handle/flit-index rings, calendars of
+  pending arrival/credit events, per-node source queues, packet
+  records), steps it one cycle per call, and mirrors everything back on
+  :meth:`CKernel.sync` -- including rebuilding the shared
+  :class:`~repro.noc.flit.Flit` deques and the event buckets -- so
+  mid-run kernel switches, snapshots and the differential digests stay
+  bit-identical.
+* **fallback** -- when no compiler is available (or the compile or a
+  precondition fails), :func:`load_kernel_library` raises
+  :class:`CKernelUnavailable`; the network warns once per process and
+  silently falls back to the ``soa`` kernel, which in turn falls back to
+  ``event`` whenever faults/observers/watchdogs attach.  The ladder is
+  ``c -> soa -> event`` and every rung is bit-identical.
+
+Packets cross the FFI as integer handles into a Python-side table;
+completed packets flush back through ``Network._complete_packet`` every
+step, so latency records, callbacks and ``packets_in_flight`` behave
+exactly as under the other kernels.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.noc.flit import Flit, FlitType, Packet
+
+_SOURCE = Path(__file__).with_name("_ckernel.c")
+_CFLAGS = ("-O2", "-shared", "-fPIC")
+
+#: process-wide build memo: the loaded library, or the failure reason.
+_LIB: Optional[ctypes.CDLL] = None
+_FAILED: Optional[str] = None
+_WARNED = False
+
+_MASK64 = (1 << 64) - 1
+
+
+class CKernelUnavailable(RuntimeError):
+    """The compiled kernel cannot be built or used here; fall back."""
+
+
+def find_compiler() -> Optional[str]:
+    """Locate a C compiler on PATH (sysconfig's CC first, then common
+    names).  Returns an absolute executable path or ``None``."""
+    candidates = []
+    cc = (sysconfig.get_config_var("CC") or "").split()
+    if cc:
+        candidates.append(cc[0])
+    candidates.extend(("cc", "gcc", "clang"))
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CKERNEL_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-ckernel"
+
+
+def _build_library() -> ctypes.CDLL:
+    compiler = find_compiler()
+    if compiler is None:
+        raise CKernelUnavailable("no C compiler found on PATH")
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError as exc:
+        raise CKernelUnavailable(f"cannot read {_SOURCE.name}: {exc}")
+    key = hashlib.sha256(
+        source + compiler.encode() + " ".join(_CFLAGS).encode()
+    ).hexdigest()[:20]
+    directory = cache_dir()
+    so_path = directory / f"ckernel-{key}.so"
+    if not so_path.exists():
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CKernelUnavailable(f"cannot create {directory}: {exc}")
+        tmp = directory / f"ckernel-{key}.{os.getpid()}.tmp.so"
+        cmd = [compiler, *_CFLAGS, "-o", str(tmp), str(_SOURCE)]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+        except OSError as exc:
+            raise CKernelUnavailable(f"compiler failed to launch: {exc}")
+        if proc.returncode != 0:
+            tmp.unlink(missing_ok=True)
+            tail = (proc.stderr or proc.stdout or "").strip()[-500:]
+            raise CKernelUnavailable(
+                f"compile failed (rc={proc.returncode}): {tail}"
+            )
+        os.replace(tmp, so_path)
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError as exc:
+        raise CKernelUnavailable(f"cannot load {so_path.name}: {exc}")
+    _bind(lib)
+    return lib
+
+
+def _bind(lib: ctypes.CDLL) -> None:
+    i64 = ctypes.c_int64
+    p_i64 = ctypes.POINTER(ctypes.c_int64)
+    void_p = ctypes.c_void_p
+
+    def sig(name, restype, *argtypes):
+        fn = getattr(lib, name)
+        fn.restype = restype
+        fn.argtypes = list(argtypes)
+
+    sig("ck_new", void_p, *([i64] * 9))
+    sig("ck_free", None, void_p)
+    sig("ck_arr", p_i64, void_p, i64)
+    sig("ck_get", i64, void_p, i64)
+    sig("ck_set", None, void_p, i64, i64)
+    sig("ck_step", i64, void_p, i64)
+    sig("ck_ensure_packets", i64, void_p, i64)
+    sig("ck_set_packet", None, void_p, *([i64] * 8))
+    sig("ck_source_push", i64, void_p, i64, i64)
+    sig("ck_source_len", i64, void_p, i64)
+    sig("ck_source_at", i64, void_p, i64, i64)
+    sig("ck_src_wake", None, void_p, i64)
+    sig("ck_queue_push", i64, void_p, i64, i64, i64, i64)
+    sig("ck_act_clear", None, void_p, i64)
+    sig("ck_act_push", None, void_p, i64, i64)
+    sig("ck_act_len", i64, void_p, i64)
+    sig("ck_act_at", i64, void_p, i64, i64)
+    sig("ck_sched_arrival", i64, void_p, *([i64] * 6))
+    sig("ck_sched_credit", i64, void_p, *([i64] * 5))
+    sig("ck_bucket_len", i64, void_p, i64, i64)
+    sig("ck_bucket_ptr", p_i64, void_p, i64, i64)
+    sig("ck_wake", None, void_p, i64)
+    sig("ck_total_buffered", i64, void_p)
+
+
+def load_kernel_library() -> ctypes.CDLL:
+    """The compiled kernel library, building it on first call.
+
+    Raises :class:`CKernelUnavailable` (and memoizes the failure) when
+    no compiler exists or the build fails; a later call fails fast.
+    """
+    global _LIB, _FAILED
+    if _LIB is not None:
+        return _LIB
+    if _FAILED is not None:
+        raise CKernelUnavailable(_FAILED)
+    try:
+        _LIB = _build_library()
+    except CKernelUnavailable as exc:
+        _FAILED = str(exc)
+        raise
+    return _LIB
+
+
+def ckernel_available() -> bool:
+    """True when the compiled kernel can be built and loaded here."""
+    try:
+        load_kernel_library()
+    except CKernelUnavailable:
+        return False
+    return True
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the compiled kernel is unusable, or ``None`` if it loads."""
+    try:
+        load_kernel_library()
+    except CKernelUnavailable as exc:
+        return str(exc)
+    return None
+
+
+def warn_unavailable(reason: str) -> None:
+    """One warning per process when ``kernel="c"`` degrades to soa."""
+    global _WARNED
+    if _WARNED:
+        return
+    _WARNED = True
+    warnings.warn(
+        f"compiled cycle kernel unavailable ({reason}); "
+        "falling back to the soa kernel",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+# -- array / scalar ids (must mirror the _ckernel.c enums exactly) ---------
+(
+    A_NPORTS, A_NVCS, A_DEPTH, A_EJ_PMASK, A_EJ_LANES, A_HAS_WIDE,
+    A_ROUTE_TAB, A_OVC_CNT, A_CEIL, A_SLANES,
+    A_LINK_R, A_LINK_P, A_LINK_DELAY, A_LINK_LANES, A_UP_R, A_UP_P,
+    A_NODE_RID, A_NODE_PORT, A_NODE_LANES,
+    A_ST_PID, A_ST_ROUTE, A_ST_OUTVC, A_NEED, A_CRED, A_OWNER,
+    A_OCC, A_AM, A_CREDOK, A_IN_NEXT, A_OUT_NEXT, A_SEC_NEXT,
+    A_NVA, A_OCCUPIED, A_VA_OFF,
+    A_ACTW, A_SRCW,
+    A_QS_PKT, A_QS_SEQ, A_QS_READY, A_QHEAD, A_QLEN,
+    A_SRC_PKT, A_SRC_NEXT, A_SRC_VC,
+    A_BW, A_BR, A_XB, A_RC, A_VA, A_ARB, A_CF, A_CS, A_MG, A_OC,
+    A_LF, A_LB,
+    A_PK_ID, A_PK_SRC, A_PK_DST, A_PK_NFLITS, A_PK_MINLANES, A_PK_HOPS,
+    A_PK_INJ,
+    A_COMP,
+) = range(64)
+
+S_CYCLE, S_ERR, S_ERR_A, S_ERR_B, S_ERR_C, S_NCOMP, S_PEND, S_PK_CAP = (
+    range(8)
+)
+
+#: soa delta-array name per C activity-counter id, in flush order.
+_ACTIVITY_ARRS = (
+    (A_BW, "a_bw"), (A_BR, "a_br"), (A_XB, "a_xb"), (A_RC, "a_rc"),
+    (A_VA, "a_va"), (A_ARB, "a_arb"), (A_CF, "a_cf"), (A_CS, "a_cs"),
+    (A_MG, "a_mg"), (A_OC, "a_oc"),
+)
+
+
+def _to_i64(word: int) -> int:
+    """Reinterpret an unsigned 64-bit word as ctypes' signed int64."""
+    word &= _MASK64
+    return word - (1 << 64) if word >= (1 << 63) else word
+
+
+class CKernel:
+    """The live compiled kernel bound to one network.
+
+    Constructed by :meth:`Network._activate_ck` when ``kernel="c"`` is
+    requested and eligible; raises :class:`CKernelUnavailable` when the
+    library cannot load or the network shape breaks a kernel
+    precondition (credit/link delays below 1 cycle, more than 62 ports
+    or VCs per router).  A :class:`~repro.noc.soa.SoaKernel` instance is
+    embedded purely as the pack/sync codec between the Router objects
+    and the flat layout -- it never steps.
+    """
+
+    def __init__(self, net) -> None:
+        from repro.noc.soa import SoaKernel
+
+        lib = load_kernel_library()
+        soa = SoaKernel(net)  # packs router scalars; shares queues
+        R, P, V = soa.R, soa.P, soa.V
+        if P > 62 or V > 62:
+            raise CKernelUnavailable(
+                f"router shape too wide for the bitmask kernel "
+                f"(ports={P}, vcs={V}, limit 62)"
+            )
+        cd = net._credit_delay
+        delays = [info[2] for info in soa.linkinfo if info is not None]
+        if cd < 1 or (delays and min(delays) < 1):
+            raise CKernelUnavailable(
+                "credit/link delays below 1 cycle break the calendar ring"
+            )
+        self.net = net
+        self.soa = soa
+        self.lib = lib
+        self.R, self.P, self.V = R, P, V
+        self.L = R * P * V
+        self.RP = R * P
+        self.D = max(max(soa.depth), 1)
+        self.nnodes = net.topology.num_nodes
+        self.cal_sz = max([cd] + delays) + 1
+        po = net.config.router_pipeline_stages - 1
+        ck = lib.ck_new(
+            R, P, V, self.nnodes, po, cd,
+            1 if net._merging else 0, self.cal_sz, self.D,
+        )
+        if not ck:
+            raise CKernelUnavailable("ck_new returned NULL (out of memory)")
+        self._ck = ck
+        #: handle table: Python stays authoritative for Packet identity.
+        self._handles: List[Optional[Packet]] = []
+        self._free: List[int] = []
+        self._hmap: Dict[int, int] = {}  # id(packet) -> handle
+        self._ccap = 0
+        #: True while net._arrivals/_credits hold a sync() mirror of the
+        #: C calendars; the next step() drops it (C stays authoritative).
+        self._mirrored = False
+        try:
+            self._pack()
+        except Exception:
+            lib.ck_free(ck)
+            self._ck = None
+            raise
+
+    # -- raw accessors ----------------------------------------------------
+    def _arr(self, aid: int):
+        return self.lib.ck_arr(self._ck, aid)
+
+    def _view(self, aid: int, n: int):
+        """A sized ctypes array over array ``aid`` (pointers only support
+        slice *reads*; views support slice assignment too)."""
+        ptr = self.lib.ck_arr(self._ck, aid)
+        return ctypes.cast(
+            ptr, ctypes.POINTER(ctypes.c_int64 * n)
+        ).contents
+
+    def free(self) -> None:
+        if self._ck is not None:
+            self.lib.ck_free(self._ck)
+            self._ck = None
+
+    # -- packet handles ---------------------------------------------------
+    def _handle(self, packet: Packet) -> int:
+        h = self._hmap.get(id(packet))
+        if h is not None:
+            return h
+        if self._free:
+            h = self._free.pop()
+        else:
+            h = len(self._handles)
+            self._handles.append(None)
+            if h >= self._ccap:
+                if self.lib.ck_ensure_packets(self._ck, h + 1):
+                    raise MemoryError("ck_ensure_packets failed")
+                self._ccap = self.lib.ck_get(self._ck, S_PK_CAP)
+                self._refresh_pk()
+        self._handles[h] = packet
+        self._hmap[id(packet)] = h
+        self.lib.ck_set_packet(
+            self._ck, h, packet.packet_id, packet.src, packet.dst,
+            packet.num_flits,
+            -1 if packet.injected_at is None else packet.injected_at,
+            -1 if packet.min_lanes is None else packet.min_lanes,
+            packet.hops,
+        )
+        return h
+
+    def _release(self, h: int, packet: Packet) -> None:
+        del self._hmap[id(packet)]
+        self._handles[h] = None
+        self._free.append(h)
+
+    def _refresh_pk(self) -> None:
+        self._pk_id = self._arr(A_PK_ID)
+        self._pk_minlanes = self._arr(A_PK_MINLANES)
+        self._pk_hops = self._arr(A_PK_HOPS)
+        self._pk_inj = self._arr(A_PK_INJ)
+
+    def _mirror_packet(self, h: int, packet: Packet) -> None:
+        """Copy the C-side record of handle ``h`` back onto ``packet``."""
+        packet.hops = self._pk_hops[h]
+        ml = self._pk_minlanes[h]
+        packet.min_lanes = None if ml < 0 else ml
+        inj = self._pk_inj[h]
+        packet.injected_at = None if inj < 0 else inj
+
+    # -- pack: Python -> C ------------------------------------------------
+    def _pack(self) -> None:
+        net = self.net
+        soa = self.soa
+        lib = self.lib
+        ck = self._ck
+        R, L, RP = self.R, self.L, self.RP
+        lib.ck_set(ck, S_CYCLE, net.cycle)
+
+        # static tensors
+        self._view(A_NPORTS, R)[:] = soa.nports
+        self._view(A_NVCS, R)[:] = soa.nvcs
+        self._view(A_DEPTH, R)[:] = soa.depth
+        self._view(A_EJ_PMASK, R)[:] = soa.ej_pmask
+        self._view(A_EJ_LANES, R)[:] = soa.ej_lanes
+        self._view(A_HAS_WIDE, R)[:] = [1 if w else 0 for w in soa.has_wide]
+        nnodes = self.nnodes
+        rt = self._view(A_ROUTE_TAB, R * nnodes)
+        for rid, row in enumerate(soa.route_tab):
+            rt[rid * nnodes:(rid + 1) * nnodes] = row
+        self._view(A_OVC_CNT, RP)[:] = soa.ovc_cnt
+        self._view(A_CEIL, RP)[:] = soa.ceil
+        self._view(A_SLANES, RP)[:] = soa.slanes
+        link_r, link_p = [-1] * RP, [0] * RP
+        link_d, link_l = [0] * RP, [0] * RP
+        for rp, info in enumerate(soa.linkinfo):
+            if info is not None:
+                link_r[rp], link_p[rp], link_d[rp], link_l[rp] = info
+        self._view(A_LINK_R, RP)[:] = link_r
+        self._view(A_LINK_P, RP)[:] = link_p
+        self._view(A_LINK_DELAY, RP)[:] = link_d
+        self._view(A_LINK_LANES, RP)[:] = link_l
+        up_r, up_p = [-1] * RP, [0] * RP
+        for rp, up in enumerate(soa.upstream):
+            if up is not None:
+                up_r[rp], up_p[rp] = up
+        self._view(A_UP_R, RP)[:] = up_r
+        self._view(A_UP_P, RP)[:] = up_p
+        self._view(A_NODE_RID, nnodes)[:] = net._node_router_id
+        self._view(A_NODE_PORT, nnodes)[:] = net._node_port
+        self._view(A_NODE_LANES, nnodes)[:] = net._node_lanes
+
+        # dynamic scalar state straight from the freshly packed soa codec
+        self._view(A_ST_PID, L)[:] = soa.st_pid
+        self._view(A_ST_ROUTE, L)[:] = soa.st_route
+        self._view(A_ST_OUTVC, L)[:] = soa.st_outvc
+        self._view(A_NEED, L)[:] = soa.need
+        self._view(A_CRED, L)[:] = soa.cred
+        self._view(A_OWNER, L)[:] = soa.owner
+        self._view(A_OCC, RP)[:] = soa.occ_mask
+        self._view(A_AM, RP)[:] = soa.am
+        self._view(A_CREDOK, RP)[:] = soa.credok
+        self._view(A_IN_NEXT, RP)[:] = soa.in_next
+        self._view(A_OUT_NEXT, RP)[:] = soa.out_next
+        self._view(A_SEC_NEXT, RP)[:] = soa.sec_next
+        self._view(A_NVA, R)[:] = soa.nva
+        self._view(A_OCCUPIED, R)[:] = soa.occupied
+        self._view(A_VA_OFF, R)[:] = soa.va_off
+        nw_r = (R + 63) // 64
+        self._view(A_ACTW, nw_r)[:] = [
+            _to_i64(soa.actmask >> (64 * w)) for w in range(nw_r)
+        ]
+        for rid in range(R):
+            lib.ck_act_clear(ck, rid)
+            for lane in soa.active_lanes[rid]:
+                lib.ck_act_push(ck, rid, lane)
+
+        # flit queues (shared deques -> handle/index/ready rings)
+        for lane, q in enumerate(soa.queues):
+            if not q:
+                continue
+            for flit in q:
+                if lib.ck_queue_push(
+                    ck, lane, self._handle(flit.packet), flit.index,
+                    flit.ready_at,
+                ):
+                    raise CKernelUnavailable(
+                        "flit queue deeper than the configured buffer"
+                    )
+
+        # sources: queued packets, mid-injection state, active-set bits
+        src_pkt = self._arr(A_SRC_PKT)
+        src_next = self._arr(A_SRC_NEXT)
+        src_vc = self._arr(A_SRC_VC)
+        for node, source in enumerate(net.sources):
+            for packet in source.queue:
+                if lib.ck_source_push(ck, node, self._handle(packet)):
+                    raise MemoryError("ck_source_push failed")
+            if source.next_flit < len(source.flits):
+                src_pkt[node] = self._handle(source.flits[0].packet)
+                src_next[node] = source.next_flit
+                src_vc[node] = source.vc
+        # srcw already has bits for queued nodes; add the conservative
+        # active-source superset so pruning matches the event kernel.
+        for node in net._active_sources:
+            lib.ck_src_wake(ck, node)
+
+        # pending events -> calendars (then C owns them)
+        for when, events in net._arrivals.items():
+            for rid, port, vc, flit in events:
+                rc = lib.ck_sched_arrival(
+                    ck, when, rid, port, vc, self._handle(flit.packet),
+                    flit.index,
+                )
+                if rc:
+                    raise CKernelUnavailable(
+                        f"arrival event at cycle {when} outside the "
+                        "calendar ring"
+                    )
+        for when, events in net._credits.items():
+            for rid, port, vc, release in events:
+                rc = lib.ck_sched_credit(
+                    ck, when, rid, port, vc, 1 if release else 0
+                )
+                if rc:
+                    raise CKernelUnavailable(
+                        f"credit event at cycle {when} outside the "
+                        "calendar ring"
+                    )
+        net._arrivals.clear()
+        net._credits.clear()
+
+        # cache stable array pointers for the hot step/sync paths
+        self._qs_pkt = self._arr(A_QS_PKT)
+        self._qs_seq = self._arr(A_QS_SEQ)
+        self._qs_ready = self._arr(A_QS_READY)
+        self._qhead = self._arr(A_QHEAD)
+        self._qlen = self._arr(A_QLEN)
+        self._refresh_pk()
+
+    # -- stepping ---------------------------------------------------------
+    def step(self) -> None:
+        net = self.net
+        cycle = net.cycle
+        lib = self.lib
+        ck = self._ck
+        if self._mirrored:
+            # sync() left a read-only mirror of the C calendars in the
+            # event dicts (for digests / snapshots / kernel hand-off).
+            # C stays authoritative while we keep stepping, so drop the
+            # mirror -- a stale copy would make idle()/drain() spin
+            # forever on events the C side has long consumed.
+            net._arrivals.clear()
+            net._credits.clear()
+            self._mirrored = False
+        ncomp = lib.ck_step(ck, 1 if net.measuring else 0)
+        if ncomp < 0:
+            self._raise_error(ncomp)
+        if ncomp:
+            comp = lib.ck_arr(ck, A_COMP)
+            handles = comp[0:ncomp]
+            lib.ck_set(ck, S_NCOMP, 0)
+            complete = net._complete_packet
+            for h in handles:
+                packet = self._handles[h]
+                self._mirror_packet(h, packet)
+                self._release(h, packet)
+                complete(packet, cycle)
+        if net.measuring:
+            net._stats.measured_cycles += 1
+        net.cycle = cycle + 1
+
+    def _raise_error(self, code: int) -> None:
+        lib, ck = self.lib, self._ck
+        a = lib.ck_get(ck, S_ERR_A)
+        b = lib.ck_get(ck, S_ERR_B)
+        c = lib.ck_get(ck, S_ERR_C)
+        if code == -1:
+            raise RuntimeError(
+                f"buffer overflow at router {a} port {b} vc {c}: "
+                "credit protocol violated"
+            )
+        if code == -2:
+            raise RuntimeError(
+                f"credit overflow at router {a} port {b} vc {c}"
+            )
+        if code == -3:
+            raise RuntimeError(
+                f"wormhole violation at router {a}: body flit of packet "
+                f"{b} at queue head without its head flit"
+            )
+        if code == -4:
+            raise RuntimeError("switch traversal popped an unexpected flit")
+        if code == -5:
+            raise RuntimeError(
+                f"negative credits at router {a} port {b} vc {c}"
+            )
+        raise RuntimeError(f"compiled kernel error {code} ({a}, {b}, {c})")
+
+    # -- network-facing helpers -------------------------------------------
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Append ``packet`` to its node's C-side source queue."""
+        if self.lib.ck_source_push(
+            self._ck, packet.src, self._handle(packet)
+        ):
+            raise MemoryError("ck_source_push failed")
+
+    def source_queue_len(self, node: int) -> int:
+        return self.lib.ck_source_len(self._ck, node)
+
+    def wake(self, router_id: int) -> None:
+        self.lib.ck_wake(self._ck, router_id)
+
+    def wake_source(self, node: int) -> None:
+        self.lib.ck_src_wake(self._ck, node)
+
+    def pending_events(self) -> bool:
+        """True while scheduled arrival/credit events remain undelivered
+        (the drain-loop quiesce condition)."""
+        return self.lib.ck_get(self._ck, S_PEND) > 0
+
+    def total_buffered_flits(self) -> int:
+        return self.lib.ck_total_buffered(self._ck)
+
+    # -- activity & link-stat flushing ------------------------------------
+    def _drain_deltas(self) -> None:
+        """Move C-side activity/link deltas into the soa delta arrays and
+        the stats dictionaries, zeroing the C side."""
+        R, RP = self.R, self.RP
+        soa = self.soa
+        zeros_r = [0] * R
+        for aid, name in _ACTIVITY_ARRS:
+            view = self._view(aid, R)
+            deltas = view[:]
+            view[:] = zeros_r
+            target = getattr(soa, name)
+            for rid, d in enumerate(deltas):
+                if d:
+                    target[rid] += d
+        stats = self.net._stats
+        P = self.P
+        for aid, dest in ((A_LF, stats.link_flits),
+                          (A_LB, stats.link_busy_cycles)):
+            view = self._view(aid, RP)
+            deltas = view[:]
+            view[:] = [0] * RP
+            for rp, d in enumerate(deltas):
+                if d:
+                    key = (rp // P, rp % P)
+                    dest[key] = dest.get(key, 0) + d
+
+    def flush_activity(self) -> None:
+        """Flush pending activity deltas into the shared RouterActivity
+        objects (measurement boundaries call this)."""
+        self._drain_deltas()
+        self.soa.flush_activity()
+
+    def reload_activities(self) -> None:
+        """Drop pending deltas after ``reset_stats`` replaced the
+        RouterActivity objects."""
+        R, RP = self.R, self.RP
+        for aid, _ in _ACTIVITY_ARRS:
+            self._view(aid, R)[:] = [0] * R
+        self._view(A_LF, RP)[:] = [0] * RP
+        self._view(A_LB, RP)[:] = [0] * RP
+        self.soa.reload_activities()
+
+    # -- sync: C -> Python -------------------------------------------------
+    def _make_flit(self, packet: Packet, index: int) -> Flit:
+        if packet.num_flits == 1:
+            ftype = FlitType.HEAD_TAIL
+        elif index == 0:
+            ftype = FlitType.HEAD
+        elif index == packet.num_flits - 1:
+            ftype = FlitType.TAIL
+        else:
+            ftype = FlitType.BODY
+        return Flit(packet=packet, index=index, flit_type=ftype)
+
+    def sync(self) -> None:
+        """Mirror the C state back into the object model (non-destructive:
+        the C side stays live and authoritative until :meth:`free`)."""
+        net = self.net
+        soa = self.soa
+        lib = self.lib
+        ck = self._ck
+        R, L, RP, V, D = self.R, self.L, self.RP, self.V, self.D
+
+        soa.st_pid[:] = self._arr(A_ST_PID)[0:L]
+        soa.st_route[:] = self._arr(A_ST_ROUTE)[0:L]
+        soa.st_outvc[:] = self._arr(A_ST_OUTVC)[0:L]
+        soa.need[:] = self._arr(A_NEED)[0:L]
+        soa.cred[:] = self._arr(A_CRED)[0:L]
+        soa.owner[:] = self._arr(A_OWNER)[0:L]
+        soa.occ_mask[:] = self._arr(A_OCC)[0:RP]
+        soa.am[:] = self._arr(A_AM)[0:RP]
+        soa.credok[:] = self._arr(A_CREDOK)[0:RP]
+        soa.in_next[:] = self._arr(A_IN_NEXT)[0:RP]
+        soa.out_next[:] = self._arr(A_OUT_NEXT)[0:RP]
+        soa.sec_next[:] = self._arr(A_SEC_NEXT)[0:RP]
+        soa.nva[:] = self._arr(A_NVA)[0:R]
+        soa.occupied[:] = self._arr(A_OCCUPIED)[0:R]
+        soa.va_off[:] = self._arr(A_VA_OFF)[0:R]
+        nw_r = (R + 63) // 64
+        actmask = 0
+        for w, word in enumerate(self._arr(A_ACTW)[0:nw_r]):
+            actmask |= (word & _MASK64) << (64 * w)
+        soa.actmask = actmask
+        for rid in range(R):
+            lanes = {
+                lib.ck_act_at(ck, rid, i): True
+                for i in range(lib.ck_act_len(ck, rid))
+            }
+            soa.active_lanes[rid] = lanes
+
+        # queue rings -> the shared Flit deques, rebuilt in place
+        qs_pkt, qs_seq, qs_ready = self._qs_pkt, self._qs_seq, self._qs_ready
+        qhead, qlen = self._qhead, self._qlen
+        handles = self._handles
+        for lane, q in enumerate(soa.queues):
+            if q is None:
+                continue
+            n = qlen[lane]
+            if not n and not q:
+                continue
+            q.clear()
+            head = qhead[lane]
+            base = lane * D
+            for i in range(n):
+                slot = base + (head + i) % D
+                flit = self._make_flit(handles[qs_pkt[slot]], qs_seq[slot])
+                flit.ready_at = qs_ready[slot]
+                q.append(flit)
+
+        # sources
+        src_pkt = self._arr(A_SRC_PKT)
+        src_next = self._arr(A_SRC_NEXT)
+        src_vc = self._arr(A_SRC_VC)
+        srcw = self._arr(A_SRCW)
+        nw_n = (self.nnodes + 63) // 64
+        srcmask = 0
+        for w, word in enumerate(srcw[0:nw_n]):
+            srcmask |= (word & _MASK64) << (64 * w)
+        for node, source in enumerate(net.sources):
+            nq = lib.ck_source_len(ck, node)
+            if nq or source.queue:
+                source.queue.clear()
+                for i in range(nq):
+                    source.queue.append(
+                        handles[lib.ck_source_at(ck, node, i)]
+                    )
+            h = src_pkt[node]
+            if h >= 0:
+                packet = handles[h]
+                source.flits = packet.make_flits()
+                source.next_flit = src_next[node]
+                source.vc = src_vc[node]
+            else:
+                source.flits = []
+                source.next_flit = 0
+                source.vc = None
+        net._active_sources = {
+            node for node in range(self.nnodes) if srcmask >> node & 1
+        }
+
+        # calendars -> the event dicts
+        cycle = lib.ck_get(ck, S_CYCLE)
+        cal_sz = self.cal_sz
+        net._arrivals.clear()
+        net._credits.clear()
+        for idx in range(cal_sz):
+            when = cycle + (idx - cycle) % cal_sz
+            n = lib.ck_bucket_len(ck, 0, idx)
+            if n:
+                ptr = lib.ck_bucket_ptr(ck, 0, idx)
+                raw = ptr[0:n]
+                events = []
+                for e in range(0, n, 5):
+                    flit = self._make_flit(handles[raw[e + 3]], raw[e + 4])
+                    events.append((raw[e], raw[e + 1], raw[e + 2], flit))
+                net._arrivals[when] = events
+            n = lib.ck_bucket_len(ck, 1, idx)
+            if n:
+                ptr = lib.ck_bucket_ptr(ck, 1, idx)
+                raw = ptr[0:n]
+                net._credits[when] = [
+                    (raw[e], raw[e + 1], raw[e + 2], bool(raw[e + 3]))
+                    for e in range(0, n, 4)
+                ]
+
+        # live packet records -> Packet attributes
+        for h, packet in enumerate(handles):
+            if packet is not None:
+                self._mirror_packet(h, packet)
+
+        self._drain_deltas()
+        soa.sync()
+        self._mirrored = True

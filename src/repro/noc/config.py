@@ -208,13 +208,18 @@ class NetworkConfig:
             ``"event"`` (the event-driven active-set kernel, default),
             ``"soa"`` (the structure-of-arrays batch kernel, which falls
             back to the event kernel whenever faults, observation hooks
-            or dynamic routing require the per-flit object datapath) or
+            or dynamic routing require the per-flit object datapath),
+            ``"c"`` (the compiled kernel of ``repro.noc.ckernel``: the
+            soa layout stepped by an on-demand-built C shared object;
+            degrades to ``soa`` when no C compiler is available, and to
+            ``event`` under the same conditions as ``soa``) or
             ``"naive"`` (the retained full-scan reference stepper).  All
-            three are bit-identical; see ``repro.noc.soa``.  Overridable
-            per process with ``REPRO_KERNEL``.
+            four are bit-identical; see ``repro.noc.soa`` and
+            ``repro.noc.ckernel``.  Overridable per process with
+            ``REPRO_KERNEL``.
     """
 
-    KERNELS = ("event", "soa", "naive")
+    KERNELS = ("event", "soa", "naive", "c")
 
     router_pipeline_stages: int = 2
     link_delay: int = 1

@@ -172,6 +172,15 @@ class Network:
         #: the live :class:`repro.noc.soa.SoaKernel`, or ``None`` when the
         #: object-model kernels are driving.
         self._soa = None
+        #: whether the compiled (C) kernel is requested; it shares the soa
+        #: kernel's eligibility rules and degrades to soa when the shared
+        #: library cannot be built or loaded.
+        self._ck_requested = kernel == "c"
+        #: the live :class:`repro.noc.ckernel.CKernel`, or ``None``.
+        self._ck = None
+        #: set after a failed compiled-kernel activation so the (warned)
+        #: soa fallback does not retry the build every cycle.
+        self._ck_blocked = False
         #: whether precomputed route tables *and* default-VA tables are
         #: installed (the soa kernel's routing precondition).
         self._route_tables_ok = False
@@ -272,6 +281,7 @@ class Network:
         routers = getattr(self, "routers", None)
         if not routers:
             return
+        self._deactivate_ck()
         self._deactivate_soa()
         tables = None
         if not self._naive and self.faults is None:
@@ -323,14 +333,19 @@ class Network:
 
     @property
     def kernel(self) -> str:
-        """The selected cycle kernel: ``"event"``, ``"soa"`` or ``"naive"``.
+        """The selected cycle kernel: ``"event"``, ``"soa"``, ``"naive"``
+        or ``"c"``.
 
-        Note this is the *requested* kernel; a requested ``"soa"`` still
-        steps through the event kernel whenever faults, observation
-        hooks, a watchdog, a profiler or dynamic routing are attached.
+        Note this is the *requested* kernel; a requested ``"soa"`` or
+        ``"c"`` still steps through the event kernel whenever faults,
+        observation hooks, a watchdog, a profiler or dynamic routing are
+        attached, and ``"c"`` degrades to the soa datapath when no C
+        compiler is available (see :attr:`active_kernel`).
         """
         if self._naive:
             return "naive"
+        if self._ck_requested:
+            return "c"
         if self._soa_requested:
             return "soa"
         return "event"
@@ -346,10 +361,16 @@ class Network:
                 f"unknown kernel {name!r}; expected one of "
                 f"{NetworkConfig.KERNELS}"
             )
+        self._deactivate_ck()
         self._deactivate_soa()
         was_naive = self._naive
         self._naive = name == "naive"
         self._soa_requested = name == "soa"
+        self._ck_requested = name == "c"
+        if self._ck_requested:
+            # An explicit re-request gets a fresh activation attempt
+            # (e.g. a compiler appeared on PATH since the last failure).
+            self._ck_blocked = False
         if was_naive != self._naive:
             # naive <-> table-driven changes the routers' RC/VA tables.
             self._install_routing_tables()
@@ -358,6 +379,21 @@ class Network:
     def soa_active(self) -> bool:
         """Whether the soa batch kernel is currently driving the cycle."""
         return self._soa is not None
+
+    @property
+    def active_kernel(self) -> str:
+        """The kernel *actually driving* the cycle right now.
+
+        Unlike :attr:`kernel` (the request), this reflects the fallback
+        ladder: ``"c"`` while the compiled kernel is live, ``"soa"``
+        while the batch kernel is live, otherwise the object-model
+        kernel that would step (``"naive"`` or ``"event"``).
+        """
+        if self._ck is not None:
+            return "c"
+        if self._soa is not None:
+            return "soa"
+        return "naive" if self._naive else "event"
 
     def _activate_soa(self):
         from repro.noc.soa import SoaKernel
@@ -372,6 +408,31 @@ class Network:
             kernel.sync()
             self._soa = None
 
+    def _activate_ck(self):
+        """Try to bring up the compiled kernel; on failure warn once and
+        return ``None`` (the caller then steps the soa kernel)."""
+        from repro.noc.ckernel import (
+            CKernel,
+            CKernelUnavailable,
+            warn_unavailable,
+        )
+
+        try:
+            kernel = CKernel(self)
+        except CKernelUnavailable as exc:
+            warn_unavailable(str(exc))
+            self._ck_blocked = True
+            return None
+        self._ck = kernel
+        return kernel
+
+    def _deactivate_ck(self) -> None:
+        kernel = getattr(self, "_ck", None)
+        if kernel is not None:
+            kernel.sync()
+            kernel.free()
+            self._ck = None
+
     def sync_kernel(self) -> None:
         """Mirror batch-kernel state back into the Router objects.
 
@@ -380,22 +441,29 @@ class Network:
         the shared structures (flit queues, stats, activity counters,
         event buckets, sources) are always current.
         """
-        if self._soa is not None:
+        if self._ck is not None:
+            self._ck.sync()
+        elif self._soa is not None:
             self._soa.sync()
 
     def wake_router(self, router_id: int) -> None:
         """Mark a router active (for callers that write flits directly)."""
         self._active_routers.add(router_id)
-        if self._soa is not None:
+        if self._ck is not None:
+            self._ck.wake(router_id)
+        elif self._soa is not None:
             self._soa.actmask |= 1 << router_id
 
     def wake_source(self, node: int) -> None:
         """Mark a source node active (for callers that bypass enqueue)."""
         self._active_sources.add(node)
+        if self._ck is not None:
+            self._ck.wake_source(node)
 
     def attach_observer(self, observer) -> None:
         """Attach observation hooks (an :class:`repro.obs.hooks.Observer`)
         to the network and all its routers."""
+        self._deactivate_ck()
         self._deactivate_soa()
         self.obs = observer
         self._tracing = observer is not None
@@ -431,6 +499,7 @@ class Network:
     def attach_watchdog(self, watchdog) -> None:
         """Attach a deadlock/livelock watchdog (read-only: cannot change
         simulation results)."""
+        self._deactivate_ck()
         self._deactivate_soa()
         self.watchdog = watchdog
 
@@ -440,14 +509,18 @@ class Network:
     def begin_measurement(self) -> None:
         """Open the measurement window: snapshot event counters so that
         utilization and power cover exactly the window."""
-        if self._soa is not None:
+        if self._ck is not None:
+            self._ck.flush_activity()
+        elif self._soa is not None:
             self._soa.flush_activity()
         self._activity_snapshot = [r.activity.snapshot() for r in self.routers]
         self.measuring = True
 
     def end_measurement(self) -> None:
         """Close the window and freeze its activity deltas into the stats."""
-        if self._soa is not None:
+        if self._ck is not None:
+            self._ck.flush_activity()
+        elif self._soa is not None:
             self._soa.flush_activity()
         self.measuring = False
         snapshot = getattr(self, "_activity_snapshot", None)
@@ -469,7 +542,9 @@ class Network:
                 buffer_capacity_flits=router.activity.buffer_capacity_flits
             )
         self._stats.router_activity = [r.activity for r in self.routers]
-        if self._soa is not None:
+        if self._ck is not None:
+            self._ck.reload_activities()
+        elif self._soa is not None:
             self._soa.reload_activities()
 
     def make_packet(
@@ -504,14 +579,26 @@ class Network:
         """
         source = self.sources[packet.src]
         limit = self.config.source_queue_limit
-        if limit is not None and len(source.queue) >= limit:
-            if self.obs is not None:
-                self.obs.on_packet_dropped(packet, self.cycle)
-            return False
+        ck = self._ck
+        if limit is not None:
+            queued = (
+                ck.source_queue_len(packet.src)
+                if ck is not None
+                else len(source.queue)
+            )
+            if queued >= limit:
+                if self.obs is not None:
+                    self.obs.on_packet_dropped(packet, self.cycle)
+                return False
         if packet.measured and not retransmit:
             self._stats.packets_offered += 1
-        source.queue.append(packet)
-        self._active_sources.add(packet.src)
+        if ck is not None:
+            # The compiled kernel owns the source queues while active; the
+            # Python deques are rebuilt from it on sync().
+            ck.enqueue_packet(packet)
+        else:
+            source.queue.append(packet)
+            self._active_sources.add(packet.src)
         self.packets_in_flight += 1
         if self.obs is not None:
             self.obs.on_packet_enqueued(packet, self.cycle)
@@ -531,15 +618,16 @@ class Network:
         full-scan reference (:meth:`_step_naive`).
         """
         if self.profiler is not None:
+            self._deactivate_ck()
             self._deactivate_soa()
             self._step_profiled()
             return
         if self._naive:
             self._step_naive()
             return
-        if self._soa_requested:
-            # Per-step eligibility: the batch kernel needs precomputed
-            # route/VA tables and steps aside for any subsystem that needs
+        if self._soa_requested or self._ck_requested:
+            # Per-step eligibility: the batch kernels need precomputed
+            # route/VA tables and step aside for any subsystem that needs
             # the per-flit object datapath (faults, obs, watchdog).
             if (
                 self.faults is None
@@ -547,11 +635,21 @@ class Network:
                 and self.watchdog is None
                 and self._route_tables_ok
             ):
+                if self._ck_requested and not self._ck_blocked:
+                    kernel = self._ck
+                    if kernel is None:
+                        kernel = self._activate_ck()
+                    if kernel is not None:
+                        kernel.step()
+                        return
+                    # Activation failed (no compiler, bad shape): warned
+                    # once, _ck_blocked set -- degrade to the soa datapath.
                 kernel = self._soa
                 if kernel is None:
                     kernel = self._activate_soa()
                 kernel.step()
                 return
+            self._deactivate_ck()
             self._deactivate_soa()
         cycle = self.cycle
         if self.faults is not None:
@@ -709,7 +807,9 @@ class Network:
                 )
             self.step()
         # Flush in-flight credit returns so the network is fully quiesced.
-        while self._credits or self._arrivals:
+        while self._credits or self._arrivals or (
+            self._ck is not None and self._ck.pending_events()
+        ):
             self.step()
 
     # -- cycle phases -------------------------------------------------------------
@@ -1019,6 +1119,7 @@ class Network:
         packet was therefore retired); a second purge of the same packet
         is a no-op.
         """
+        self._deactivate_ck()
         self._deactivate_soa()
         pid = packet.packet_id
         topo = self.topology
@@ -1161,6 +1262,8 @@ class Network:
 
     # -- diagnostics ---------------------------------------------------------------
     def total_buffered_flits(self) -> int:
+        if self._ck is not None:
+            return self._ck.total_buffered_flits()
         if self._soa is not None:
             return self._soa.total_buffered_flits()
         return sum(router.occupied_flits for router in self.routers)

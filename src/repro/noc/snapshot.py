@@ -7,7 +7,7 @@ sources, stats), the driver's RNG, the injection process, the global
 packet-id counter and any driver bookkeeping -- so that a restored run
 continues exactly where the original left off.  "Exactly" is literal:
 the differential state digests of a restored run match an uninterrupted
-one cycle for cycle, for all three cycle kernels (pinned by
+one cycle for cycle, for all four cycle kernels (pinned by
 ``tests/test_snapshot.py``).
 
 Two layers:
@@ -107,10 +107,11 @@ def capture(
 ) -> SimSnapshot:
     """Freeze a live network (and driver state) into a :class:`SimSnapshot`.
 
-    The soa kernel, if active, is synced and deactivated first: the
-    object model then holds the authoritative state, and the restored
-    network re-activates the batch kernel on its next step (both
-    transitions are bit-identical, pinned by the differential tests).
+    The soa or compiled (C) kernel, if active, is synced and
+    deactivated first: the object model then holds the authoritative
+    state, and the restored network re-activates its batch kernel on
+    the next step (both transitions are bit-identical, pinned by the
+    differential tests).
     Deactivation is equally bit-identical for the network being
     captured, so taking a checkpoint never perturbs the ongoing run.
     """
@@ -120,6 +121,7 @@ def capture(
             "attached (live file handles); detach it first"
         )
     network.sync_kernel()
+    network._deactivate_ck()
     network._deactivate_soa()
     return SimSnapshot(
         network=network,

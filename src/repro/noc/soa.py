@@ -1,7 +1,9 @@
 """Structure-of-arrays batch cycle kernel.
 
-The third (and fastest) cycle kernel, selected with
-``NetworkConfig(kernel="soa")`` or ``REPRO_KERNEL=soa``.  Where the
+The third cycle kernel (the fastest *pure-Python* one — the compiled
+``c`` kernel in :mod:`repro.noc.ckernel` runs the same walk over these
+arrays natively), selected with ``NetworkConfig(kernel="soa")`` or
+``REPRO_KERNEL=soa``.  Where the
 event-driven kernel walks :class:`~repro.noc.router.Router` objects and
 their per-VC ``_VCState`` records, this kernel flattens the entire
 router microarchitecture into parallel arrays and bitmasks:

@@ -1,0 +1,329 @@
+"""The compiled C cycle kernel: build machinery, fallback ladder, cache.
+
+The bit-identity of ``kernel="c"`` against the other three kernels is
+pinned by ``tests/test_kernel_differential.py`` / ``test_golden_runs.py``
+/ ``test_snapshot.py``; this file covers what is unique to the compiled
+kernel:
+
+* the on-demand build: compiler discovery, the sha256-keyed shared-object
+  cache (``REPRO_CKERNEL_CACHE``), and reuse across loads;
+* the degradation ladder: no compiler -> a *single* ``RuntimeWarning``
+  and a transparent, bit-identical fall back to the soa kernel; hooks or
+  faults -> per-step fall back to the event kernel (differential file);
+* unsupported shapes (sub-cycle credit/link delays, too-wide routers)
+  refuse cleanly instead of simulating wrongly;
+* ``python -m repro.noc.bench --kernel c`` skips loudly (exit 0, clear
+  message) on a compilerless host instead of mislabelling soa timings;
+* the :class:`SweepPoint` spec-hash rule: ``kernel="c"`` is part of the
+  cache key, kernel-free rows in an existing store keep replaying.
+"""
+
+import random
+import warnings
+from dataclasses import replace
+
+import pytest
+
+import repro.noc.ckernel as ckernel
+from repro.core.layouts import build_network, layout_by_name
+from repro.exec import SweepPoint, run_sweep
+from repro.exec.store import ResultStore
+from repro.noc.ckernel import (
+    CKernelUnavailable,
+    ckernel_available,
+    find_compiler,
+    load_kernel_library,
+    unavailable_reason,
+)
+from repro.noc.config import NetworkConfig, RouterConfig
+from repro.noc.flit import reset_packet_ids
+from repro.noc.network import Network
+from repro.noc.topology import Mesh
+
+needs_ckernel = pytest.mark.skipif(
+    not ckernel_available(),
+    reason=f"compiled kernel unavailable: {unavailable_reason()}",
+)
+
+
+@pytest.fixture
+def no_compiler(monkeypatch):
+    """A process state in which no C compiler can be found: the build
+    memo is reset so discovery really re-runs, and restored afterwards
+    so later tests reuse the already-loaded library."""
+    monkeypatch.setattr(ckernel, "_LIB", None)
+    monkeypatch.setattr(ckernel, "_FAILED", None)
+    monkeypatch.setattr(ckernel, "_WARNED", False)
+    monkeypatch.setattr(ckernel, "find_compiler", lambda: None)
+    yield
+
+
+def _drive(net, cycles=60, rate=0.2, seed=5):
+    rng = random.Random(seed)
+    num_nodes = net.topology.num_nodes
+    for _ in range(cycles):
+        for node in range(num_nodes):
+            if rng.random() < rate:
+                dst = rng.randrange(num_nodes)
+                if dst != node:
+                    net.enqueue(net.make_packet(node, dst))
+        net.step()
+
+
+class TestBuildMachinery:
+    @needs_ckernel
+    def test_shared_object_is_cached_and_reused(self, monkeypatch, tmp_path):
+        """Two builds with the same source+compiler+flags hit one .so;
+        REPRO_CKERNEL_CACHE relocates the cache directory."""
+        monkeypatch.setenv("REPRO_CKERNEL_CACHE", str(tmp_path))
+        assert ckernel.cache_dir() == tmp_path
+        ckernel._build_library()
+        built = list(tmp_path.glob("ckernel-*.so"))
+        assert len(built) == 1, built
+        before = built[0].stat().st_mtime_ns
+        ckernel._build_library()  # cache hit: no recompile, same file
+        assert list(tmp_path.glob("ckernel-*.so")) == built
+        assert built[0].stat().st_mtime_ns == before
+        assert not list(tmp_path.glob("*.tmp.so")), "temp files must not leak"
+
+    @needs_ckernel
+    def test_load_is_memoized(self):
+        assert load_kernel_library() is load_kernel_library()
+        assert unavailable_reason() is None
+
+    def test_compile_failure_is_memoized(self, no_compiler):
+        with pytest.raises(CKernelUnavailable, match="no C compiler"):
+            load_kernel_library()
+        # Second call fails fast from the memo without re-probing PATH.
+        assert ckernel._FAILED is not None
+        assert ckernel_available() is False
+        assert "no C compiler" in unavailable_reason()
+
+    def test_find_compiler_returns_real_path_or_none(self):
+        path = find_compiler()
+        if path is not None:
+            import os
+
+            assert os.path.isabs(path) and os.access(path, os.X_OK)
+
+
+class TestFallbackLadder:
+    def test_no_compiler_falls_back_to_soa_with_one_warning(self, no_compiler):
+        """kernel="c" on a compilerless host: exactly one RuntimeWarning
+        per process, then the soa kernel carries the run."""
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 3))
+        net.use_kernel("c")
+        with pytest.warns(RuntimeWarning, match="falling back to the soa"):
+            net.step()
+        assert net.kernel == "c", "the *requested* kernel is unchanged"
+        assert net.active_kernel == "soa"
+        # Further steps and even further networks stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _drive(net, cycles=30)
+            reset_packet_ids()
+            other = build_network(layout_by_name("baseline", 2))
+            other.use_kernel("c")
+            other.step()
+        assert other.active_kernel == "soa"
+        net.drain()
+        assert net.total_buffered_flits() == 0
+
+    def test_no_compiler_run_matches_soa_bit_for_bit(self, no_compiler):
+        import sys
+
+        sys.path.insert(0, "tests")
+        try:
+            from test_kernel_differential import _run_one, _assert_same
+        finally:
+            sys.path.pop(0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            degraded = _run_one("c", 3, "baseline", 0.2, 11, 80, 1024)
+        reference = _run_one("soa", 3, "baseline", 0.2, 11, 80, 1024)
+        _assert_same(reference, degraded, "c-degraded-to-soa")
+
+    @needs_ckernel
+    def test_sub_cycle_delays_refuse_cleanly(self):
+        """credit_delay=0 breaks the C calendar ring; the kernel must
+        refuse (and the network degrade to soa) rather than mis-simulate."""
+        from repro.noc.ckernel import CKernel
+
+        reset_packet_ids()
+        topo = Mesh(3)
+        configs = {r: RouterConfig() for r in range(topo.num_routers)}
+        net = Network(topo, configs, NetworkConfig(credit_delay=0, kernel="c"))
+        with pytest.raises(CKernelUnavailable, match="calendar"):
+            CKernel(net)
+        # The network-level ladder degrades to soa (sub-cycle credits
+        # are an event/soa-kernel concern either way, not the C ring's).
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            net.step()
+        assert net.active_kernel == "soa"
+
+    @needs_ckernel
+    def test_explicit_rerequest_retries_activation(self):
+        """A blocked c request stays blocked (no per-step re-probe), but
+        an explicit use_kernel("c") tries again."""
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 2))
+        net.use_kernel("c")
+        net._ck_blocked = True  # as if a prior activation failed
+        net.step()
+        assert net.active_kernel == "soa"
+        net.use_kernel("c")  # explicit re-request clears the block
+        net.step()
+        assert net.active_kernel == "c"
+        net.drain()
+
+
+class TestBenchSkipPath:
+    def test_bench_kernel_c_skips_cleanly_without_compiler(
+        self, no_compiler, capsys
+    ):
+        from repro.noc import bench
+
+        rc = bench.main(["--kernel", "c", "--repeat", "1", "--no-history"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "skipping compiled-kernel benchmark" in out
+        assert "no C compiler" in out
+        assert "benchmarking" not in out, "must skip before timing anything"
+
+    def test_bench_check_kernel_c_skips_cleanly_without_compiler(
+        self, no_compiler, capsys, tmp_path
+    ):
+        import json
+
+        from repro.noc import bench
+
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps({"c": {}}))
+        rc = bench.main(["--check", str(baseline), "--kernel", "c"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "skipping compiled-kernel benchmark" in out
+
+    @needs_ckernel
+    def test_bench_all_times_c_section(self, capsys, tmp_path):
+        import json
+
+        from repro.noc import bench
+
+        out_path = tmp_path / "r.json"
+        rc = bench.main([
+            "--kernel", "all", "--repeat", "1", "--only", "empty-4x4",
+            "--no-history", "--out", str(out_path),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert "c" in report
+        assert "empty-4x4" in report["c"]
+        assert "speedup_c_vs_event" in report
+        assert "speedup_c_vs_soa" in report
+
+
+class TestSpecHashRule:
+    POINT = SweepPoint(
+        layout="baseline", mesh_size=3, pattern="uniform_random",
+        rate=0.05, seed=3, warmup_packets=20, measure_packets=80,
+    )
+
+    def test_kernel_c_is_part_of_the_spec(self):
+        point = replace(self.POINT, kernel="c")
+        assert point.spec_dict()["kernel"] == "c"
+        assert point.key() != self.POINT.key()
+        assert "kernel" not in self.POINT.spec_dict()
+
+    def test_kernel_free_store_rows_replay_for_default_points(self, tmp_path):
+        """Regression: a store populated before the kernel field existed
+        (rows with no kernel) must keep replaying for default-kernel
+        points, and a kernel="c" override must be a cache *miss* (its own
+        row), not a collision."""
+        with ResultStore(tmp_path / "sweeps.sqlite") as store:
+            first = run_sweep([self.POINT], cache=store)[0]
+            assert not first.from_cache
+            replay = run_sweep([self.POINT], cache=store)[0]
+            assert replay.from_cache
+            assert replay.to_dict() == first.to_dict()
+            c_point = replace(self.POINT, kernel="c")
+            c_result = run_sweep([c_point], cache=store)[0]
+            assert not c_result.from_cache, "override must not hit the row"
+            # Bit-identical payload, distinct key.
+            a, b = first.to_dict(), c_result.to_dict()
+            assert a.pop("key") != b.pop("key")
+            assert a == b
+
+
+@needs_ckernel
+class TestCompiledStepping:
+    def test_active_kernel_reports_c(self):
+        reset_packet_ids()
+        net = build_network(layout_by_name("diagonal+BL", 3))
+        net.use_kernel("c")
+        assert net.active_kernel in ("naive", "event")  # not yet stepped
+        _drive(net, cycles=40)
+        assert net.active_kernel == "c"
+        net.drain()
+        assert net.total_buffered_flits() == 0
+        assert net.packets_in_flight == 0
+
+    def test_sync_is_non_destructive(self):
+        """sync_kernel() mirrors C state into the object model without
+        deactivating: stepping continues compiled, digests unperturbed."""
+        import sys
+
+        sys.path.insert(0, "tests")
+        try:
+            from test_kernel_differential import _digest
+        finally:
+            sys.path.pop(0)
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 3))
+        net.use_kernel("c")
+        _drive(net, cycles=50)
+        before = _digest(net)  # digest itself calls sync_kernel()
+        assert net.active_kernel == "c", "sync must not deactivate"
+        assert _digest(net) == before, "sync must be idempotent"
+        _drive(net, cycles=10)
+        net.drain()
+        assert net.total_buffered_flits() == 0
+
+    def test_wormhole_violation_raises_event_kernel_message(self):
+        """C-side invariant failures surface as the same RuntimeError
+        wording the python kernels use (the differential tests rely on
+        error parity to triangulate real bugs)."""
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 2))
+        net.use_kernel("c")
+        net.enqueue(net.make_packet(0, 3))
+        net.step()
+        assert net.active_kernel == "c"
+        ck = net._ck
+        # Find a lane whose queue head is a *body* flit (mid-wormhole),
+        # then claim its wormhole for a bogus packet id and re-arm VA.
+        from repro.noc.ckernel import A_NEED, A_NVA, A_ST_PID
+
+        lane = None
+        for _ in range(100):
+            for index in range(ck.L):
+                if ck._qlen[index]:
+                    slot = index * ck.D + ck._qhead[index] % ck.D
+                    if ck._qs_seq[slot] != 0:
+                        lane = index
+                        break
+            if lane is not None:
+                break
+            net.step()
+        assert lane is not None, "no mid-wormhole lane appeared"
+        rid = lane // (ck.P * ck.V)
+        ck._view(A_ST_PID, ck.L)[lane] = 10_000_019
+        ck._view(A_NEED, ck.L)[lane] = 1
+        ck._view(A_NVA, ck.R)[rid] += 1
+        ck.lib.ck_wake(ck._ck, rid)
+        with pytest.raises(RuntimeError, match="wormhole violation"):
+            for _ in range(50):
+                net.step()

@@ -1,17 +1,18 @@
-"""Differential testing: the three cycle kernels against each other.
+"""Differential testing: the four cycle kernels against each other.
 
-:meth:`Network.step` can be driven by three kernels -- the event-driven
+:meth:`Network.step` can be driven by four kernels -- the event-driven
 active-set kernel (default), the structure-of-arrays batch kernel
-(``repro.noc.soa``) and the retained full-scan reference stepper -- and
-they must be *bit-identical*: same flit movements, same arbitration
-pointer evolution, same activity counters, same delivered packets, every
-cycle.  These tests drive all three over a randomized matrix of mesh
-sizes, layouts, injection rates, payload sizes and seeds (plus faulty
-and observed configurations, which exercise the soa kernel's automatic
-fallback) and compare a deep per-cycle digest of the complete simulation
-state.  Mid-run kernel switches mirror ``tests/test_active_set.py``:
-flipping kernels while wormholes are in flight must not perturb a single
-bit.
+(``repro.noc.soa``), the compiled C kernel (``repro.noc.ckernel``,
+skipped here only when no C compiler exists) and the retained full-scan
+reference stepper -- and they must be *bit-identical*: same flit
+movements, same arbitration pointer evolution, same activity counters,
+same delivered packets, every cycle.  These tests drive all four over a
+randomized matrix of mesh sizes, layouts, injection rates, payload
+sizes and seeds (plus faulty and observed configurations, which
+exercise the soa and c kernels' automatic fallback) and compare a deep
+per-cycle digest of the complete simulation state.  Mid-run kernel
+switches mirror ``tests/test_active_set.py``: flipping kernels while
+wormholes are in flight must not perturb a single bit.
 """
 
 import os
@@ -22,10 +23,25 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.layouts import build_network, layout_by_name
+from repro.noc.ckernel import ckernel_available, unavailable_reason
 from repro.noc.config import NetworkConfig
 from repro.noc.flit import reset_packet_ids
 
-KERNELS = NetworkConfig.KERNELS  # ("event", "soa", "naive")
+KERNELS = NetworkConfig.KERNELS  # ("event", "soa", "naive", "c")
+
+#: skip-or-run marker for tests that *require* the compiled kernel: on a
+#: compilerless host they skip (the fallback ladder has its own tests in
+#: tests/test_ckernel.py), everywhere else they must really run it.
+needs_ckernel = pytest.mark.skipif(
+    not ckernel_available(),
+    reason=f"compiled kernel unavailable: {unavailable_reason()}",
+)
+
+
+def _kernel_param(name):
+    return (
+        pytest.param(name, marks=needs_ckernel) if name == "c" else name
+    )
 
 
 def _digest(net):
@@ -135,12 +151,15 @@ def _assert_same(reference, other, name):
     seed=st.integers(min_value=0, max_value=2**16),
     payload_bits=st.sampled_from([64, 1024]),
 )
-def test_three_kernels_bit_identical(mesh_size, layout, rate, seed, payload_bits):
+def test_four_kernels_bit_identical(mesh_size, layout, rate, seed, payload_bits):
     cycles = 120
     event = _run_one(
         "event", mesh_size, layout, rate, seed, cycles, payload_bits
     )
-    for name in ("soa", "naive"):
+    others = ["soa", "naive"]
+    if ckernel_available():
+        others.append("c")
+    for name in others:
         other = _run_one(
             name, mesh_size, layout, rate, seed, cycles, payload_bits
         )
@@ -148,21 +167,25 @@ def test_three_kernels_bit_identical(mesh_size, layout, rate, seed, payload_bits
 
 
 @pytest.mark.parametrize("layout", ["baseline", "diagonal+B", "diagonal+BL"])
-def test_three_kernels_loaded_smoke(layout):
+def test_four_kernels_loaded_smoke(layout):
     """One fixed loaded point per layout, all kernels (fast determinism
-    check that runs without hypothesis -- the CI soa-smoke subset)."""
+    check that runs without hypothesis -- the CI soa-/ckernel-smoke
+    subset).  On a compilerless host the ``"c"`` run transparently
+    degrades to soa, which must *still* be bit-identical."""
     runs = {
         name: _run_one(name, 4, layout, 0.20, 1234, 150, 1024)
         for name in KERNELS
     }
     _assert_same(runs["event"], runs["soa"], "soa")
     _assert_same(runs["event"], runs["naive"], "naive")
+    _assert_same(runs["event"], runs["c"], "c")
 
 
-@pytest.mark.parametrize("kernel", ["naive", "soa"])
+@pytest.mark.parametrize("kernel", ["naive", "soa", "c"])
 def test_kernels_match_event_under_faults(kernel):
-    """Faulty runs: naive really steps, a requested soa transparently
-    falls back to the event kernel -- both must match it bit-for-bit."""
+    """Faulty runs: naive really steps, a requested soa or c kernel
+    transparently falls back to the event kernel -- all must match it
+    bit-for-bit."""
     from repro.faults.schedule import FaultSchedule, FaultSpec
     from repro.traffic.patterns import pattern_by_name
     from repro.traffic.runner import run_synthetic
@@ -185,9 +208,10 @@ def test_kernels_match_event_under_faults(kernel):
             0.08, seed=11, faults=faults,
             warmup_packets=80, measure_packets=300,
         )
-        if name == "soa":
+        if name in ("soa", "c"):
             # Dynamic (fault-aware) routing forces the fallback.
             assert net.soa_active is False
+            assert net.active_kernel == "event"
         stats = net.stats
         return (
             result.total_cycles,
@@ -212,7 +236,7 @@ def test_switching_kernels_mid_run_is_safe():
     rng = random.Random(7)
     num_nodes = net.topology.num_nodes
     offered = 0
-    schedule = {60: "soa", 120: "naive", 180: "soa", 240: "event"}
+    schedule = {60: "soa", 120: "naive", 180: "c", 240: "event"}
     for step_index in range(300):
         if step_index in schedule:
             net.use_kernel(schedule[step_index])
@@ -228,7 +252,7 @@ def test_switching_kernels_mid_run_is_safe():
     assert net.total_buffered_flits() == 0
 
 
-@pytest.mark.parametrize("pivot", ["soa", "naive"])
+@pytest.mark.parametrize("pivot", ["soa", "naive", _kernel_param("c")])
 def test_mid_run_switch_is_bit_identical(pivot):
     """A kernel hand-off mid-wormhole must not perturb a single bit:
     event-for-the-whole-run == switch-away-and-back."""
@@ -260,6 +284,11 @@ def test_kernel_env_overrides():
     """REPRO_KERNEL selects the kernel at construction; the legacy
     REPRO_NAIVE_STEP=1 still wins for backwards compatibility."""
     try:
+        os.environ["REPRO_KERNEL"] = "c"
+        reset_packet_ids()
+        net = build_network(layout_by_name("baseline", 2))
+        assert net.kernel == "c"
+        assert net.naive_step is False
         os.environ["REPRO_KERNEL"] = "soa"
         reset_packet_ids()
         net = build_network(layout_by_name("baseline", 2))
@@ -317,6 +346,33 @@ def test_soa_falls_back_when_hooks_attached():
     net.detach_watchdog()
     net.step()
     assert net.soa_active is True, "fallback must lift on detach"
+    net.drain()
+    assert net.total_delivered == 1
+    assert net.total_buffered_flits() == 0
+
+
+@needs_ckernel
+def test_ckernel_falls_back_when_hooks_attached():
+    """Same contract as the soa fallback: a requested c kernel hands the
+    cycle to the event kernel while a watchdog is attached, and resumes
+    compiled stepping when detached."""
+    from repro.faults import Watchdog
+
+    reset_packet_ids()
+    net = build_network(layout_by_name("baseline", 3))
+    net.use_kernel("c")
+    net.enqueue(net.make_packet(0, 8))
+    net.step()
+    assert net.active_kernel == "c"
+
+    watchdog = Watchdog(stall_window=10_000, check_interval=64)
+    net.attach_watchdog(watchdog)
+    net.step()
+    assert net.active_kernel == "event", "watchdog must force the event kernel"
+    assert net.kernel == "c", "the *requested* kernel is unchanged"
+    net.detach_watchdog()
+    net.step()
+    assert net.active_kernel == "c", "fallback must lift on detach"
     net.drain()
     assert net.total_delivered == 1
     assert net.total_buffered_flits() == 0

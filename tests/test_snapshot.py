@@ -5,7 +5,7 @@ The crash-safety contract of :mod:`repro.noc.snapshot`:
 * restoring a snapshot and continuing reproduces an uninterrupted run
   *exactly* -- same deep per-cycle state digests (the differential
   harness from ``test_kernel_differential``), same delivered-packet
-  records, for all three cycle kernels;
+  records, for all four cycle kernels;
 * the binary container detects truncation, bit flips, bad magic and
   format-version skew loudly (``SnapshotCorrupt`` /
   ``SnapshotVersionMismatch``) instead of half-restoring;
